@@ -1,0 +1,86 @@
+"""Figs. 12(b), 12(c), 12(d) (Exp-2) — GTPQs with disjunction and negation.
+
+Table 4's ten queries on the Fig. 11 structure, evaluated by GTEA
+(native logical-operator support) against TwigStack and TwigStackD, which
+must decompose each GTPQ into conjunctive variants and merge/difference
+the answers (Appendix C.2).  Expected shape: GTEA several times to orders
+of magnitude faster, with the gap widening as predicates get more complex
+(DIS_NEG4 decomposes into many variants plus anti-joins).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.datasets import exp2_query
+
+from .conftest import emit_report
+
+# Groups probed to make the conjunctive Fig. 11 base nonempty at this
+# scale, so the logical variants have substance to filter.
+GROUPS = dict(person_group=0, seller_group=3, item_group=3)
+ALGORITHMS = ["GTEA", "TwigStack", "TwigStackD"]
+FAMILIES = {
+    "fig12b_disjunction": ["DIS1", "DIS2", "DIS3"],
+    "fig12c_negation": ["NEG1", "NEG2", "NEG3"],
+    "fig12d_dis_neg": ["DIS_NEG1", "DIS_NEG2", "DIS_NEG3", "DIS_NEG4"],
+}
+
+
+def _family_report(suite, names) -> list[list]:
+    rows = []
+    for name in names:
+        query = exp2_query(name, **GROUPS)
+        row: list = [name]
+        reference = None
+        counts = None
+        for algorithm in ALGORITHMS:
+            measurement = suite.run(algorithm, query)
+            if reference is None:
+                reference = measurement.answer
+                counts = measurement.result_count
+            else:
+                assert measurement.answer == reference, (
+                    f"{algorithm} disagrees on {name}"
+                )
+            row.append(measurement.millis)
+        row.append(counts)
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_fig12_family_report(xmark_mid, family, benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        rows.extend(_family_report(xmark_mid, FAMILIES[family]))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(family, format_table(
+        f"Fig. 12 ({family}): GTPQ processing time (ms), mid-scale XMark",
+        ["query", *ALGORITHMS, "results"],
+        rows,
+    ))
+    # Shape: GTEA is fastest on every query of the family.
+    for row in rows:
+        gtea, others = row[1], row[2:-1]
+        assert gtea <= min(others), f"GTEA not fastest on {row[0]}"
+
+
+@pytest.mark.parametrize(
+    "name", ["DIS1", "NEG2", "DIS_NEG2", "DIS_NEG4"]
+)
+def test_fig12_gtea_single(xmark_mid, name, benchmark):
+    query = exp2_query(name, **GROUPS)
+    benchmark.pedantic(
+        lambda: xmark_mid.run("GTEA", query), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("name", ["DIS1", "NEG2"])
+def test_fig12_twigstackd_single(xmark_mid, name, benchmark):
+    query = exp2_query(name, **GROUPS)
+    benchmark.pedantic(
+        lambda: xmark_mid.run("TwigStackD", query), rounds=3, iterations=1
+    )

@@ -1,0 +1,68 @@
+"""Fig. 8(b) — query processing time for Q1/Q2/Q3 on the smallest dataset.
+
+Expected shape (paper Section 5.1): GTEA's time barely grows with query
+size (and Q2 can run *faster* than Q1 because its answer is smaller);
+HGJoin+ is the most sensitive to query size.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.datasets import fig7_query
+
+from .conftest import emit_report
+
+ALGORITHMS = ["GTEA", "TwigStackD", "HGJoin+", "HGJoin*", "TwigStack", "Twig2Stack"]
+VARIANTS = ("q1", "q2", "q3")
+
+
+def _query(variant):
+    return fig7_query(variant, person_group=2, item_group=4, seller_group=6)
+
+
+def test_fig8b_report(xmark_small, benchmark):
+    table: dict[str, list[float]] = {name: [] for name in ALGORITHMS}
+
+    def run_all():
+        for name in ALGORITHMS:
+            table[name].clear()
+        for variant in VARIANTS:
+            query = _query(variant)
+            reference = None
+            for name in ALGORITHMS:
+                measurement = xmark_small.run(name, query)
+                table[name].append(measurement.millis)
+                if reference is None:
+                    reference = measurement.answer
+                else:
+                    assert measurement.answer == reference
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[name, *table[name]] for name in ALGORITHMS]
+    emit_report("fig8b_query_scaling", format_table(
+        "Fig. 8(b): query processing time (ms) for Q1/Q2/Q3, smallest scale",
+        ["algorithm", *(v.upper() for v in VARIANTS)],
+        rows,
+    ))
+    # Shape: GTEA stays in a narrow band across Q1-Q3 and beats the
+    # stack/pool-based algorithms on every variant.
+    gtea = table["GTEA"]
+    assert max(gtea) < max(table["TwigStackD"])
+    assert max(gtea) < max(table["TwigStack"])
+    assert max(gtea) / min(gtea) < 5  # flat across query sizes
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_fig8b_gtea(xmark_small, variant, benchmark):
+    query = _query(variant)
+    benchmark.pedantic(
+        lambda: xmark_small.run("GTEA", query), rounds=5, iterations=1
+    )
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_fig8b_twigstackd(xmark_small, variant, benchmark):
+    query = _query(variant)
+    benchmark.pedantic(
+        lambda: xmark_small.run("TwigStackD", query), rounds=3, iterations=1
+    )

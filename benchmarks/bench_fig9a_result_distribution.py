@@ -1,0 +1,57 @@
+"""Fig. 9(a) — result-size distribution of the generated arXiv queries.
+
+The paper's query generator produces, per query size 5–13, fifteen
+queries in a small-result group and fifteen in a large-result group, and
+plots their result sizes.  This bench regenerates the two groups and
+reports the distribution summary (min/mean/max per size).
+"""
+
+from repro.bench import format_table, mean
+from repro.datasets import generate_query_groups
+
+from .conftest import emit_report
+
+SIZES = (5, 7, 9, 11, 13)
+PER_SIZE = 5  # the paper uses 15; 5 keeps the bench fast with same shape
+SMALL = (2, 50)
+LARGE = (51, 5000)
+
+
+def test_fig9a_report(arxiv_suite, arxiv_dataset, benchmark):
+    groups = {}
+
+    def generate():
+        groups.update(generate_query_groups(
+            arxiv_dataset.graph,
+            sizes=SIZES,
+            queries_per_size=PER_SIZE,
+            small_range=SMALL,
+            large_range=LARGE,
+            seed=31,
+            engine=arxiv_suite.gtea,
+        ))
+
+    benchmark.pedantic(generate, rounds=1, iterations=1)
+    rows = []
+    for group_name in ("small", "large"):
+        for size in SIZES:
+            sizes = [g.result_size for g in groups[group_name][size]]
+            rows.append([
+                group_name, size, len(sizes),
+                min(sizes) if sizes else 0,
+                mean([float(s) for s in sizes]),
+                max(sizes) if sizes else 0,
+            ])
+    emit_report("fig9a_result_distribution", format_table(
+        "Fig. 9(a): result sizes of generated arXiv queries",
+        ["group", "query size", "#queries", "min", "mean", "max"],
+        rows,
+    ))
+    # Shape: the small group stays within its band; at least some sizes of
+    # the large group are populated and dominate the small ones.
+    small_rows = [r for r in rows if r[0] == "small" and r[2] > 0]
+    large_rows = [r for r in rows if r[0] == "large" and r[2] > 0]
+    assert small_rows and large_rows
+    for row in small_rows:
+        assert SMALL[0] <= row[3] and row[5] <= SMALL[1]
+    assert max(r[5] for r in large_rows) > SMALL[1]

@@ -1,0 +1,102 @@
+"""Fig. 9(d) — GTEA's pruning vs TwigStackD's pre-filtering.
+
+The paper isolates the candidate-filtering stage: GTEA's contour-based
+two-round pruning against TwigStackD's two whole-graph traversals.
+Expected shape: the pruning process is significantly cheaper and scales
+better with query size, because the pre-filter's cost is tied to the
+graph size, not the candidate sets.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import format_table, mean
+from repro.datasets import generate_query_groups
+from repro.engine.prune import PruningContext, prune_downward, prune_upward
+from repro.engine.prime import compute_prime_subtree
+from repro.query import candidate_nodes
+
+from .conftest import emit_report
+
+SIZES = (5, 7, 9, 11, 13)
+
+
+@pytest.fixture(scope="module")
+def query_groups(arxiv_suite, arxiv_dataset):
+    return generate_query_groups(
+        arxiv_dataset.graph,
+        sizes=SIZES,
+        queries_per_size=4,
+        small_range=(2, 50),
+        large_range=(51, 5000),
+        seed=13,
+        engine=arxiv_suite.gtea,
+    )
+
+
+def _gtea_pruning_seconds(suite, query) -> float:
+    graph = suite.graph
+    context = PruningContext(graph, query, suite.gtea.reachability)
+    mats = {u: candidate_nodes(graph, query, u) for u in query.nodes}
+    started = time.perf_counter()
+    mats = prune_downward(context, mats)
+    prime = compute_prime_subtree(query, mats)
+    prune_upward(context, mats, prime)
+    return time.perf_counter() - started
+
+
+def _prefilter_seconds(suite, query) -> float:
+    evaluator = suite.twigstackd
+    mats = {u: candidate_nodes(suite.graph, query, u) for u in query.nodes}
+    started = time.perf_counter()
+    evaluator.prefilter(query, mats)
+    return time.perf_counter() - started
+
+
+def test_fig9d_report(arxiv_suite, query_groups, benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        for group in ("small", "large"):
+            for size in SIZES:
+                queries = query_groups[group][size]
+                if not queries:
+                    continue
+                gtea_ms = mean([
+                    _gtea_pruning_seconds(arxiv_suite, g.query) * 1e3
+                    for g in queries
+                ])
+                prefilter_ms = mean([
+                    _prefilter_seconds(arxiv_suite, g.query) * 1e3
+                    for g in queries
+                ])
+                rows.append([group, size, gtea_ms, prefilter_ms])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report("fig9d_pruning_cost", format_table(
+        "Fig. 9(d): filtering time (ms) — GTEA pruning vs TwigStackD pre-filter",
+        ["group", "query size", "GTEA pruning", "TwigStackD pre-filter"],
+        rows,
+    ))
+    # Shape: pruning beats the pre-filter on aggregate.
+    assert sum(r[2] for r in rows) < sum(r[3] for r in rows)
+
+
+def test_fig9d_pruning_single(arxiv_suite, query_groups, benchmark):
+    pool = [q for size in SIZES for q in query_groups["small"][size]]
+    query = pool[0].query
+    benchmark.pedantic(
+        lambda: _gtea_pruning_seconds(arxiv_suite, query),
+        rounds=3, iterations=1,
+    )
+
+
+def test_fig9d_prefilter_single(arxiv_suite, query_groups, benchmark):
+    pool = [q for size in SIZES for q in query_groups["small"][size]]
+    query = pool[0].query
+    benchmark.pedantic(
+        lambda: _prefilter_seconds(arxiv_suite, query),
+        rounds=3, iterations=1,
+    )

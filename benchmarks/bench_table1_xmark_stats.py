@@ -1,0 +1,49 @@
+"""Table 1 — statistics of the XMark datasets.
+
+Regenerates the paper's dataset-statistics table for the scaled ladder
+and benchmarks dataset generation itself (the substrate every other
+experiment builds on).
+"""
+
+from repro.bench import format_table
+from repro.datasets import generate_xmark, table1_row
+
+from .conftest import XMARK_SCALES, emit_report
+
+
+def test_table1_report(xmark_datasets, benchmark):
+    rows = []
+
+    def collect():
+        rows.clear()
+        for scale in XMARK_SCALES:
+            row = table1_row(xmark_datasets[scale])
+            rows.append([row["scale"], row["nodes"], row["edges"]])
+        return rows
+
+    benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit_report("table1_xmark_stats", format_table(
+        "Table 1: Statistics of XMark-like datasets (scaled ladder 1:2:3:4:8)",
+        ["scale", "nodes", "edges"],
+        rows,
+    ))
+    # Monotone growth along the ladder, roughly linear in scale.
+    node_counts = [row[1] for row in rows]
+    assert node_counts == sorted(node_counts)
+    assert node_counts[-1] > 6 * node_counts[0]
+
+
+def test_generate_xmark_smallest(benchmark):
+    result = benchmark.pedantic(
+        lambda: generate_xmark(scale=XMARK_SCALES[0], seed=97),
+        rounds=3, iterations=1,
+    )
+    assert result.graph.num_nodes > 0
+
+
+def test_generate_xmark_largest(benchmark):
+    result = benchmark.pedantic(
+        lambda: generate_xmark(scale=XMARK_SCALES[-1], seed=97),
+        rounds=3, iterations=1,
+    )
+    assert result.graph.num_nodes > 0

@@ -1,0 +1,59 @@
+"""Table 2 — average result sizes of Q1–Q3 on the XMark ladder.
+
+The paper draws ten random person/item label groups per query type and
+reports the average answer size per dataset scale.  Expected shape:
+|Q1| >> |Q2| >> |Q3| (368 / 34.6 / 1.9 on the 55MB dataset), growing with
+scale.
+"""
+
+from repro.bench import format_table, mean
+from repro.datasets import fig7_query
+
+from .conftest import XMARK_SCALES, emit_report
+
+GROUP_DRAWS = [(g, (g + 3) % 10, (g + 5) % 10) for g in range(10)]
+
+
+def _average_sizes(suite, variant: str) -> float:
+    sizes = []
+    for person_group, item_group, seller_group in GROUP_DRAWS:
+        query = fig7_query(
+            variant,
+            person_group=person_group,
+            item_group=item_group,
+            seller_group=seller_group,
+        )
+        sizes.append(len(suite.gtea.evaluate(query)))
+    return mean(sizes)
+
+
+def test_table2_report(xmark_suites, benchmark):
+    rows = []
+
+    def collect():
+        rows.clear()
+        for variant in ("q1", "q2", "q3"):
+            row: list = [variant.upper()]
+            for scale in XMARK_SCALES:
+                row.append(_average_sizes(xmark_suites[scale], variant))
+            rows.append(row)
+        return rows
+
+    benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit_report("table2_result_sizes", format_table(
+        "Table 2: average result sizes on XMark-like data (10 label draws)",
+        ["query", *(f"scale {s}" for s in XMARK_SCALES)],
+        rows,
+    ))
+    # Shape: Q1 answers dominate Q2 dominate Q3 at every scale, and Q1
+    # grows with data size (paper: 368 -> 2986 across the ladder).
+    q1, q2, q3 = rows
+    for column in range(1, len(XMARK_SCALES) + 1):
+        assert q1[column] >= q2[column] >= q3[column]
+    assert q1[-1] > q1[1]
+
+
+def test_q1_average_evaluation(xmark_small, benchmark):
+    benchmark.pedantic(
+        lambda: _average_sizes(xmark_small, "q1"), rounds=3, iterations=1
+    )

@@ -1,0 +1,22 @@
+"""Query analysis (S5 in DESIGN.md): Section 3's decision procedures."""
+
+from .containment import (
+    are_equivalent,
+    are_isomorphic,
+    find_homomorphism,
+    is_contained,
+)
+from .minimization import minimize_query
+from .satisfiability import is_query_satisfiable, normalize_query
+from .structure import QueryAnalysis
+
+__all__ = [
+    "QueryAnalysis",
+    "are_equivalent",
+    "are_isomorphic",
+    "find_homomorphism",
+    "is_contained",
+    "is_query_satisfiable",
+    "minimize_query",
+    "normalize_query",
+]

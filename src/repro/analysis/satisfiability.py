@@ -1,0 +1,84 @@
+"""GTPQ satisfiability (paper Theorems 1 and 2).
+
+Theorem 1: a GTPQ (with unsatisfiable-attribute and non-independent nodes
+removed) is satisfiable iff ``fa(root)`` and ``fcs(root)`` are both
+satisfiable.  Theorem 2: linear time for union-conjunctive queries,
+NP-complete in general — reflected here as a monotone fast path plus the
+SAT-based general procedure.
+"""
+
+from __future__ import annotations
+
+from ..logic import evaluate, is_satisfiable, simplify, substitute
+from ..query.gtpq import GTPQ
+from .structure import QueryAnalysis
+
+
+def normalize_query(query: GTPQ) -> GTPQ:
+    """Remove unsatisfiable-attribute subtrees and non-independent nodes.
+
+    Their variables are assigned 0 in the parents' structural predicates
+    (minGTPQ lines 1–2).  Iterates to a fixpoint: hardwiring a variable can
+    render further nodes non-independent.  Preserves query equivalence.
+    """
+    current = query
+    while True:
+        drop: set[str] = set()
+        for node_id in current.nodes:
+            if node_id == current.root:
+                continue
+            if not current.attribute(node_id).is_satisfiable():
+                drop.add(node_id)
+        analysis = QueryAnalysis(current)
+        for node_id in current.nodes:
+            if node_id == current.root or current.nodes[node_id].is_backbone:
+                # Backbone nodes are never removed here: their images are
+                # required in matches; unsatisfiability surfaces via fcs.
+                continue
+            if node_id not in analysis.independent_nodes:
+                drop.add(node_id)
+        # Keep only the shallowest dropped nodes (subtrees go with them).
+        roots_of_drop = {
+            node_id
+            for node_id in drop
+            if not any(a in drop for a in current.ancestors(node_id))
+        }
+        if not roots_of_drop:
+            return current
+        overrides = {}
+        for node_id in roots_of_drop:
+            parent_id = current.parent[node_id]
+            base = overrides.get(parent_id, current.fs(parent_id))
+            overrides[parent_id] = simplify(substitute(base, {node_id: False}))
+        current = current.copy(drop=roots_of_drop, structural_override=overrides)
+
+
+def is_query_satisfiable(query: GTPQ) -> bool:
+    """Theorem 1 decision procedure."""
+    if not query.attribute(query.root).is_satisfiable():
+        return False
+    # Fast path (Theorem 2.1): monotone predicates, linear check.
+    if query.is_union_conjunctive():
+        return _union_conjunctive_satisfiable(query)
+    normalized = normalize_query(query)
+    analysis = QueryAnalysis(normalized)
+    return is_satisfiable(analysis.fcs(normalized.root))
+
+
+def _union_conjunctive_satisfiable(query: GTPQ) -> bool:
+    """Linear-time check for negation-free queries (Theorem 2.1).
+
+    Monotonicity: a node is matchable iff its attribute predicate is
+    satisfiable and its extended predicate evaluates true under the *best*
+    child valuation (child variable true iff the child is matchable).
+    """
+    matchable: dict[str, bool] = {}
+    for node_id in query.bottom_up():
+        if not query.attribute(node_id).is_satisfiable():
+            matchable[node_id] = False
+            continue
+        valuation = {
+            child_id: matchable[child_id] for child_id in query.children[node_id]
+        }
+        matchable[node_id] = evaluate(query.fext(node_id), valuation, default=False)
+    return matchable[query.root]

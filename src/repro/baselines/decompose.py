@@ -1,0 +1,224 @@
+"""Decompose-and-merge GTPQ processing for conjunctive-only baselines.
+
+The paper's Appendix C.2 runs TwigStack and TwigStackD on queries with
+disjunction and negation by decomposing each GTPQ into conjunctive TPQs
+and combining their answers ("perform the difference and merge operations
+on results of the decomposed queries") — and charges them for it: the
+number of conjunctive variants can be exponential in the query size.
+
+Mechanics:
+
+* each internal node's structural predicate is put into DNF
+  (:func:`repro.logic.dnf_terms`); a *variant* picks one term per
+  positively-selected node, top-down;
+* positive literals keep the child's subtree (recursively expanded);
+  unmentioned children are dropped (don't-care);
+* negative literals become *anti-joins*: an auxiliary conjunctive query
+  "parent + forbidden subtree" computes the set of parent images having
+  the forbidden branch, and variant rows whose image lies in that set are
+  discarded;
+* variant answers are unioned.
+"""
+
+from __future__ import annotations
+
+
+from typing import Callable
+
+from ..engine.stats import EvaluationStats
+from ..query.gtpq import GTPQ, QueryNode
+from .base import ResultSet
+
+#: a baseline evaluation callable: conjunctive GTPQ -> full-match rows.
+ConjunctiveSolver = Callable[[GTPQ], list[dict[str, int]]]
+
+
+class DecomposingEvaluator:
+    """Wrap a conjunctive baseline to evaluate arbitrary GTPQs.
+
+    Args:
+        solver: object with ``full_matches(conjunctive_query)`` and a
+            ``stats`` attribute (any :class:`BaselineEvaluator`, or a
+            :class:`TreeDecomposedEvaluator` adapter).
+        name_suffix: appended to the solver's name in reports.
+    """
+
+    def __init__(self, solver, name_suffix: str = "+decompose"):
+        self.solver = solver
+        self.name = getattr(solver, "name", "solver") + name_suffix
+        self.stats = EvaluationStats()
+
+    def evaluate(self, query: GTPQ) -> ResultSet:
+        results, _ = self.evaluate_with_stats(query)
+        return results
+
+    def evaluate_with_stats(self, query: GTPQ) -> tuple[ResultSet, EvaluationStats]:
+        self.stats = EvaluationStats()
+        variants = enumerate_conjunctive_variants(query)
+        answers: ResultSet = set()
+        anti_join_cache: dict[tuple[str, str], set[int]] = {}
+        for skeleton, negatives in variants:
+            rows = self._solve(skeleton)
+            for parent_id, child_id in negatives:
+                bad = anti_join_cache.get((parent_id, child_id))
+                if bad is None:
+                    bad = self._forbidden_images(query, parent_id, child_id)
+                    anti_join_cache[(parent_id, child_id)] = bad
+                rows = [row for row in rows if row[parent_id] not in bad]
+            answers.update(
+                tuple(row[o] for o in query.outputs) for row in rows
+            )
+        self.stats.result_count = len(answers)
+        return answers, self.stats
+
+    # ------------------------------------------------------------------
+    def _solve(self, skeleton: GTPQ) -> list[dict[str, int]]:
+        rows = self.solver.full_matches(skeleton)
+        solver_stats = getattr(self.solver, "stats", None)
+        if solver_stats is not None:
+            self.stats.input_nodes += solver_stats.input_nodes
+            self.stats.intermediate_tuples += (
+                solver_stats.intermediate_tuples + len(rows)
+            )
+            solver_stats.input_nodes = 0
+            solver_stats.intermediate_tuples = 0
+        return rows
+
+    def _forbidden_images(
+        self, query: GTPQ, parent_id: str, child_id: str
+    ) -> set[int]:
+        """Images of ``parent_id`` that match the forbidden child branch.
+
+        When the branch itself carries disjunction/negation the auxiliary
+        query is decomposed recursively (the branch is strictly smaller,
+        so this terminates).
+        """
+        aux = _anchor_with_subtree(query, parent_id, child_id)
+        if aux.is_conjunctive():
+            rows = self._solve(aux)
+            return {row[parent_id] for row in rows}
+        nested = DecomposingEvaluator(self.solver, name_suffix="")
+        answers, nested_stats = nested.evaluate_with_stats(aux)
+        self.stats.input_nodes += nested_stats.input_nodes
+        self.stats.intermediate_tuples += nested_stats.intermediate_tuples
+        return {row[0] for row in answers}
+
+
+def enumerate_conjunctive_variants(
+    query: GTPQ,
+) -> list[tuple[GTPQ, list[tuple[str, str]]]]:
+    """All conjunctive variants of ``query`` with their anti-join demands.
+
+    Returns ``(skeleton, negatives)`` pairs where ``skeleton`` is a
+    conjunctive GTPQ (all selected nodes backbone, outputs extended with
+    anti-join anchors) and ``negatives`` lists ``(parent, child)`` pairs
+    whose branch must be absent.
+    """
+    from ..logic import dnf_terms
+
+    term_choices: dict[str, list[dict[str, bool]]] = {}
+    for node_id in query.nodes:
+        terms = dnf_terms(query.fs(node_id))
+        term_choices[node_id] = terms
+
+    variants: list[tuple[GTPQ, list[tuple[str, str]]]] = []
+
+    def backbone_children(node_id: str) -> list[str]:
+        return [
+            c for c in query.children[node_id] if query.nodes[c].is_backbone
+        ]
+
+    def expand(selected: dict[str, dict[str, bool]], frontier: list[str]):
+        """Depth-first enumeration of per-node term choices."""
+        if not frontier:
+            variants.append(_build_variant(query, selected))
+            return
+        node_id, *rest = frontier
+        for term in term_choices[node_id]:
+            new_selected = dict(selected)
+            new_selected[node_id] = term
+            new_frontier = list(rest)
+            new_frontier.extend(backbone_children(node_id))
+            new_frontier.extend(c for c, positive in term.items() if positive)
+            expand(new_selected, new_frontier)
+
+    expand({}, [query.root])
+    return variants
+
+
+def _build_variant(
+    query: GTPQ, selected: dict[str, dict[str, bool]]
+) -> tuple[GTPQ, list[tuple[str, str]]]:
+    member_ids = list(selected)
+    member_set = set(member_ids)
+    negatives = [
+        (node_id, child_id)
+        for node_id, term in selected.items()
+        for child_id, positive in term.items()
+        if not positive
+    ]
+    nodes = {
+        m: QueryNode(m, query.attribute(m), True) for m in member_ids
+    }
+    parent = {
+        m: query.parent[m]
+        for m in member_ids
+        if m != query.root and query.parent[m] in member_set
+    }
+    children = {
+        m: [c for c in query.children[m] if c in member_set] for m in member_ids
+    }
+    edge_types = {m: query.edge_type(m) for m in parent}
+    outputs = list(
+        dict.fromkeys(
+            list(query.outputs) + [parent_id for parent_id, __ in negatives]
+        )
+    )
+    skeleton = GTPQ(
+        root=query.root,
+        nodes=nodes,
+        parent=parent,
+        children=children,
+        edge_types=edge_types,
+        structural={},
+        outputs=outputs,
+    )
+    return skeleton, negatives
+
+
+def _anchor_with_subtree(query: GTPQ, parent_id: str, child_id: str) -> GTPQ:
+    """Query "``parent_id`` having the ``child_id`` branch".
+
+    The anchor and the branch root become backbone; deeper nodes keep
+    their original status and structural predicates (which may be
+    non-conjunctive — the caller decomposes recursively in that case).
+    """
+    members = [parent_id] + query.subtree_nodes(child_id)
+    member_set = set(members)
+    nodes = {
+        m: QueryNode(
+            m,
+            query.attribute(m),
+            True if m in (parent_id, child_id) else query.nodes[m].is_backbone,
+        )
+        for m in members
+    }
+    parent = {
+        m: query.parent[m]
+        for m in members
+        if m != parent_id and query.parent[m] in member_set
+    }
+    children = {
+        m: [c for c in query.children[m] if c in member_set] for m in members
+    }
+    edge_types = {m: query.edge_type(m) for m in parent}
+    structural = {m: query.fs(m) for m in members if m != parent_id}
+    return GTPQ(
+        root=parent_id,
+        nodes=nodes,
+        parent=parent,
+        children=children,
+        edge_types=edge_types,
+        structural=structural,
+        outputs=[parent_id],
+    )

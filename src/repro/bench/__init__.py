@@ -1,0 +1,5 @@
+"""Benchmark support (S9 in DESIGN.md)."""
+
+from .harness import AlgorithmSuite, Measurement, format_table, mean
+
+__all__ = ["AlgorithmSuite", "Measurement", "format_table", "mean"]

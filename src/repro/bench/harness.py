@@ -1,0 +1,160 @@
+"""Benchmark harness: pre-built algorithm suites and table printing.
+
+Timing discipline follows the paper: reachability indexes and interval
+labelings are built once per dataset *outside* the measured region (they
+are query-independent), while everything an algorithm does per query —
+including TwigStackD's pre-filtering sweeps and HGJoin+'s plan sweep — is
+measured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..baselines import (
+    CrossAwareTreeSolver,
+    DecomposingEvaluator,
+    HGJoinPlus,
+    HGJoinStar,
+    TreeDecomposedEvaluator,
+    Twig2Stack,
+    TwigStack,
+    TwigStackD,
+    decompose_at_cross_edges,
+)
+from ..engine import GTEA
+from ..engine.stats import EvaluationStats
+from ..graph.digraph import DataGraph
+from ..query.gtpq import GTPQ
+
+
+@dataclass
+class Measurement:
+    """One algorithm run: answer, wall time, collected statistics."""
+
+    algorithm: str
+    seconds: float
+    result_count: int
+    stats: EvaluationStats | None = None
+    answer: set = field(default_factory=set, repr=False)
+
+    @property
+    def millis(self) -> float:
+        return self.seconds * 1e3
+
+
+class AlgorithmSuite:
+    """All evaluators over one dataset, index structures pre-built.
+
+    Args:
+        graph: the data graph.
+        forest_edges: the document-tree edges (enables the tree-algorithm
+            members; omit for general DAGs like arXiv).
+        cross_children_of: per-query callable returning the reference
+            children at which tree algorithms must split the query.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        forest_edges: set[tuple[int, int]] | None = None,
+        cross_children_of: Callable[[GTPQ], set[str]] | None = None,
+    ):
+        self.graph = graph
+        self.gtea = GTEA(graph)
+        self.twigstackd = TwigStackD(graph)
+        self.hgjoin_plus = HGJoinPlus(graph)
+        self.hgjoin_star = HGJoinStar(graph)
+        self.cross_children_of = cross_children_of or (lambda query: set())
+        self.tree_runners: dict[str, TreeDecomposedEvaluator] = {}
+        if forest_edges is not None:
+            self.tree_runners["TwigStack"] = TreeDecomposedEvaluator(
+                graph, TwigStack, forest_edges=forest_edges
+            )
+            self.tree_runners["Twig2Stack"] = TreeDecomposedEvaluator(
+                graph, Twig2Stack, forest_edges=forest_edges
+            )
+
+    # ------------------------------------------------------------------
+    def algorithms(self) -> list[str]:
+        return ["GTEA", "TwigStackD", "HGJoin+", "HGJoin*", *self.tree_runners]
+
+    def run(self, algorithm: str, query: GTPQ) -> Measurement:
+        """Evaluate ``query`` with ``algorithm`` and time it.
+
+        Conjunctive queries run natively everywhere; GTPQs with logical
+        operators run natively on GTEA and through the decompose-and-merge
+        wrapper on the baselines (the paper's Appendix C.2 set-up).
+        """
+        conjunctive = query.is_conjunctive()
+        if algorithm == "GTEA":
+            runner = lambda: self.gtea.evaluate_with_stats(query)
+        elif algorithm in ("TwigStackD", "HGJoin+", "HGJoin*"):
+            evaluator = {
+                "TwigStackD": self.twigstackd,
+                "HGJoin+": self.hgjoin_plus,
+                "HGJoin*": self.hgjoin_star,
+            }[algorithm]
+            if conjunctive:
+                runner = lambda: evaluator.evaluate_with_stats(query)
+            elif algorithm == "TwigStackD":
+                wrapper = DecomposingEvaluator(evaluator)
+                runner = lambda: wrapper.evaluate_with_stats(query)
+            else:
+                raise ValueError(f"{algorithm} cannot evaluate GTPQs")
+        elif algorithm in self.tree_runners:
+            tree_runner = self.tree_runners[algorithm]
+            crosses = self.cross_children_of(query)
+            if conjunctive:
+                decomposed = decompose_at_cross_edges(query, crosses)
+                runner = lambda: tree_runner.evaluate_with_stats(decomposed)
+            else:
+                solver = CrossAwareTreeSolver(tree_runner, crosses)
+                wrapper = DecomposingEvaluator(solver)
+                runner = lambda: wrapper.evaluate_with_stats(query)
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        started = time.perf_counter()
+        answer, stats = runner()
+        elapsed = time.perf_counter() - started
+        if algorithm == "HGJoin+" and "best_plan" in stats.phase_seconds:
+            # Paper convention: report the best plan's time only.
+            elapsed = stats.phase_seconds["best_plan"] + (
+                elapsed - stats.phase_seconds["all_plans"]
+            )
+        if isinstance(answer, dict):  # multi-output-structure result
+            count = sum(len(a) for a in answer.values())
+            flat: set = set()
+        else:
+            count = len(answer)
+            flat = answer
+        return Measurement(algorithm, elapsed, count, stats, flat)
+
+
+def format_table(
+    title: str, columns: list[str], rows: list[list[Any]]
+) -> str:
+    """Render an aligned text table (the bench reports' output format)."""
+    header = [str(c) for c in columns]
+    body = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    for row in body:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

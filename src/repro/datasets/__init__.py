@@ -1,0 +1,45 @@
+"""Dataset generators and paper workloads (S8 in DESIGN.md)."""
+
+from .arxiv import ArxivGraph, generate_arxiv
+from .dblp import AUTHOR_POOL, DblpGraph, generate_dblp
+from .random_queries import (
+    GeneratedQuery,
+    generate_query_groups,
+    random_embedded_query,
+)
+from .workloads import (
+    FIG7_CROSS,
+    FIG11_CROSS,
+    TABLE3_OUTPUTS,
+    TABLE4_PREDICATES,
+    dblp_example_query,
+    exp1_query,
+    exp2_query,
+    fig7_query,
+    fig11_query,
+)
+from .xmark import NUM_GROUPS, XMarkGraph, generate_xmark, table1_row
+
+__all__ = [
+    "AUTHOR_POOL",
+    "ArxivGraph",
+    "DblpGraph",
+    "FIG11_CROSS",
+    "FIG7_CROSS",
+    "GeneratedQuery",
+    "NUM_GROUPS",
+    "TABLE3_OUTPUTS",
+    "TABLE4_PREDICATES",
+    "XMarkGraph",
+    "dblp_example_query",
+    "exp1_query",
+    "exp2_query",
+    "fig11_query",
+    "fig7_query",
+    "generate_arxiv",
+    "generate_dblp",
+    "generate_query_groups",
+    "generate_xmark",
+    "random_embedded_query",
+    "table1_row",
+]

@@ -1,0 +1,72 @@
+"""DBLP-like bibliography graph for the paper's Example 1.
+
+A DBLP XML document stores ``inproceedings`` (papers) and ``proceedings``
+(volumes) separately, linked by ``crossref`` elements — "the underlying
+data structure is clearly a graph".  This generator builds exactly that
+shape so the introduction's queries Q1–Q3 (Alice/Bob, year range,
+negation) are runnable end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..graph.digraph import DataGraph
+
+AUTHOR_POOL = [
+    "Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace", "Heidi",
+]
+
+
+@dataclass
+class DblpGraph:
+    graph: DataGraph
+    inproceedings: list[int] = field(default_factory=list)
+    proceedings: list[int] = field(default_factory=list)
+    forest_edges: set[tuple[int, int]] = field(default_factory=set)
+
+
+def generate_dblp(
+    num_proceedings: int = 30,
+    papers_per_proceedings: int = 12,
+    seed: int = 11,
+) -> DblpGraph:
+    """Generate a DBLP-like graph.
+
+    Every paper gets 1–3 authors from a small pool, a title, a year
+    element, and a ``crossref`` child whose reference edge points at the
+    containing proceedings (which carries ``year`` and ``title``).
+    """
+    rng = random.Random(seed)
+    out = DblpGraph(graph=DataGraph())
+    graph = out.graph
+
+    dblp = graph.add_node(label="dblp")
+
+    def child(parent: int, label: str, attrs: dict | None = None) -> int:
+        payload = {"label": label}
+        if attrs:
+            payload.update(attrs)
+        target = graph.add_node(payload)
+        graph.add_edge(parent, target)
+        out.forest_edges.add((parent, target))
+        return target
+
+    for __ in range(num_proceedings):
+        year = rng.randint(1995, 2015)
+        proceedings = child(dblp, "proceedings")
+        out.proceedings.append(proceedings)
+        child(proceedings, "title")
+        child(proceedings, "year", {"value": year})
+        child(proceedings, "booktitle")
+        for __ in range(papers_per_proceedings):
+            paper = child(dblp, "inproceedings")
+            out.inproceedings.append(paper)
+            child(paper, "title")
+            child(paper, "year", {"value": year})
+            for author in rng.sample(AUTHOR_POOL, rng.randint(1, 3)):
+                child(paper, "author", {"value": author})
+            crossref = child(paper, "crossref")
+            graph.add_edge(crossref, proceedings)  # the reference edge
+    return out

@@ -1,0 +1,110 @@
+"""Random meaningful query generation (paper Section 5.2).
+
+"We designed a query generator to randomly produce meaningful queries.
+Each query node is associated with a label randomly chosen from the data
+graph" — meaningful here means the pattern is *embedded* in the graph, so
+its result set is nonempty.  The generator samples a random subtree of
+the data (root node, then random strict descendants per branch) and lifts
+the node labels into an AD-edge conjunctive query with all nodes output.
+
+The paper sorts generated queries into a small-result group (2–50) and a
+large-result group (200–1200); :func:`generate_query_groups` reproduces
+that protocol with configurable bounds (result sizes scale with the
+synthetic graph).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..engine.gtea import GTEA
+from ..graph.digraph import DataGraph
+from ..graph.traversal import descendants
+from ..query.builder import QueryBuilder
+from ..query.gtpq import GTPQ
+
+
+@dataclass
+class GeneratedQuery:
+    query: GTPQ
+    result_size: int
+
+
+def random_embedded_query(
+    graph: DataGraph, size: int, rng: random.Random, max_attempts: int = 200
+) -> GTPQ | None:
+    """One random tree pattern of ``size`` nodes embedded in ``graph``."""
+    nodes = graph.num_nodes
+    for __ in range(max_attempts):
+        root = rng.randrange(nodes)
+        below = list(descendants(graph, root))
+        if len(below) < size - 1:
+            continue
+        builder = QueryBuilder()
+        builder.backbone("n0", label=graph.label(root))
+        anchors = [("n0", root)]
+        ok = True
+        for index in range(1, size):
+            parent_id, parent_data = anchors[rng.randrange(len(anchors))]
+            pool = list(descendants(graph, parent_data))
+            if not pool:
+                ok = False
+                break
+            data_node = rng.choice(pool)
+            node_id = f"n{index}"
+            builder.backbone(node_id, parent=parent_id, edge="ad",
+                             label=graph.label(data_node))
+            anchors.append((node_id, data_node))
+        if ok:
+            return builder.build()
+    return None
+
+
+def generate_query_groups(
+    graph: DataGraph,
+    sizes: tuple[int, ...] = (5, 7, 9, 11, 13),
+    queries_per_size: int = 15,
+    small_range: tuple[int, int] = (2, 50),
+    large_range: tuple[int, int] = (200, 1200),
+    seed: int = 5,
+    max_attempts: int = 400,
+    engine: GTEA | None = None,
+) -> dict[str, dict[int, list[GeneratedQuery]]]:
+    """The paper's two query groups, per query size.
+
+    Returns ``{"small": {size: [GeneratedQuery, ...]}, "large": {...}}``.
+    Queries are evaluated with GTEA to classify by result size; generation
+    keeps sampling until each bucket is filled (or attempts run out, in
+    which case buckets may be short — callers should tolerate that for
+    very small graphs).
+    """
+    rng = random.Random(seed)
+    engine = engine if engine is not None else GTEA(graph)
+    groups: dict[str, dict[int, list[GeneratedQuery]]] = {
+        "small": {size: [] for size in sizes},
+        "large": {size: [] for size in sizes},
+    }
+    for size in sizes:
+        attempts = 0
+        while attempts < max_attempts and (
+            len(groups["small"][size]) < queries_per_size
+            or len(groups["large"][size]) < queries_per_size
+        ):
+            attempts += 1
+            query = random_embedded_query(graph, size, rng)
+            if query is None:
+                continue
+            result_size = len(engine.evaluate(query))
+            record = GeneratedQuery(query, result_size)
+            if (
+                small_range[0] <= result_size <= small_range[1]
+                and len(groups["small"][size]) < queries_per_size
+            ):
+                groups["small"][size].append(record)
+            elif (
+                large_range[0] <= result_size <= large_range[1]
+                and len(groups["large"][size]) < queries_per_size
+            ):
+                groups["large"][size].append(record)
+    return groups

@@ -1,0 +1,220 @@
+"""The paper's query workloads (Figs. 7 and 11, Tables 3 and 4, Example 1).
+
+Node-id conventions (documented against the figures):
+
+* Fig. 7 / Fig. 11 queries use the XMark element names; reference hops are
+  explicit PC edges through the ref elements (``personref``, ``seller``,
+  ``item``) so tree-decomposed baselines can split at them;
+* in the Fig. 11 family the node named ``item`` is the *itemref* element
+  (so Table 4's ``fs(open_auction) = ... item ...`` predicates read
+  verbatim) and ``item_elem`` is the referenced item element (so Table 3's
+  "item" output column and Table 4's ``fs(item)`` map to ``item_elem``).
+"""
+
+from __future__ import annotations
+
+from ..logic import parse_formula
+from ..query.attribute import AttributePredicate
+from ..query.builder import QueryBuilder
+from ..query.gtpq import GTPQ
+
+#: cross (reference) children of the Fig. 7 queries, per variant.
+FIG7_CROSS = {
+    "q1": {"person"},
+    "q2": {"person", "item"},
+    "q3": {"person", "item", "person2"},
+}
+
+#: cross children of the Fig. 11 query family.
+FIG11_CROSS = {"person", "person2", "item_elem"}
+
+
+def fig7_query(
+    variant: str,
+    person_group: int = 0,
+    item_group: int = 0,
+    seller_group: int = 0,
+) -> GTPQ:
+    """Q1/Q2/Q3 of Fig. 7 (conjunctive, all nodes output).
+
+    Args:
+        variant: ``"q1"`` | ``"q2"`` | ``"q3"``.
+        person_group / item_group / seller_group: the random label groups
+            the paper draws per query instance.
+    """
+    builder = (
+        QueryBuilder()
+        .backbone("open_auction", label="open_auction")
+        .backbone("bidder", parent="open_auction", edge="pc", label="bidder")
+        .backbone("personref", parent="bidder", edge="pc", label="personref")
+        .backbone("person", parent="personref", edge="pc",
+                  label=f"person{person_group}")
+        .backbone("education", parent="person", edge="ad", label="education")
+        .backbone("address", parent="person", edge="pc", label="address")
+        .backbone("city", parent="address", edge="pc", label="city")
+        .backbone("current", parent="open_auction", edge="pc", label="current")
+    )
+    if variant in ("q2", "q3"):
+        builder.backbone("item_ref", parent="open_auction", edge="pc",
+                         label="itemref")
+        builder.backbone("item", parent="item_ref", edge="pc",
+                         label=f"item{item_group}")
+        builder.backbone("location", parent="item", edge="pc", label="location")
+    if variant == "q3":
+        builder.backbone("seller", parent="open_auction", edge="pc",
+                         label="seller")
+        builder.backbone("person2", parent="seller", edge="pc",
+                         label=f"person{seller_group}")
+        builder.backbone("profile", parent="person2", edge="pc",
+                         label="profile")
+    if variant not in ("q1", "q2", "q3"):
+        raise ValueError(f"unknown Fig. 7 variant {variant!r}")
+    return builder.build()
+
+
+#: Table 3: output nodes per Exp-1 query (ids per module docstring).
+TABLE3_OUTPUTS: dict[str, list[str] | None] = {
+    "Q4": ["open_auction"],
+    "Q5": ["open_auction", "bidder", "seller"],
+    "Q6": ["open_auction", "bidder", "seller", "city", "profile"],
+    "Q7": ["open_auction", "item_elem", "location"],
+    "Q8": None,  # all query nodes
+}
+
+#: Table 4: structural predicates per Exp-2 query.
+TABLE4_PREDICATES: dict[str, dict[str, str]] = {
+    "DIS1": {"open_auction": "bidder | seller"},
+    "DIS2": {"open_auction": "bidder | seller",
+             "item_elem": "mailbox | location"},
+    "DIS3": {"open_auction": "bidder | seller | item"},
+    "NEG1": {"person": "!education"},
+    "NEG2": {"open_auction": "!bidder", "person": "!education"},
+    "NEG3": {"open_auction": "!bidder & !seller", "person": "!education"},
+    "DIS_NEG1": {"open_auction": "!bidder | seller", "person": "!education"},
+    "DIS_NEG2": {"open_auction": "(!bidder & seller) | (bidder & !seller)"},
+    "DIS_NEG3": {"open_auction": "(!bidder & seller) | (bidder & !seller)",
+                 "person": "!education"},
+    "DIS_NEG4": {
+        "open_auction":
+            "(!bidder & seller & item) | (bidder & !seller & !item)",
+        "person": "!education",
+    },
+}
+
+#: the Fig. 11 tree: node -> (parent, edge type, label).
+_FIG11_SHAPE: list[tuple[str, str | None, str, str]] = [
+    ("open_auction", None, "pc", "open_auction"),
+    ("bidder", "open_auction", "pc", "bidder"),
+    ("personref", "bidder", "pc", "personref"),
+    ("person", "personref", "pc", "person{pg}"),
+    ("education", "person", "ad", "education"),
+    ("address", "person", "pc", "address"),
+    ("city", "address", "pc", "city"),
+    ("seller", "open_auction", "pc", "seller"),
+    ("person2", "seller", "pc", "person{sg}"),
+    ("profile", "person2", "pc", "profile"),
+    ("item", "open_auction", "pc", "itemref"),
+    ("item_elem", "item", "pc", "item{ig}"),
+    ("location", "item_elem", "pc", "location"),
+    ("mailbox", "item_elem", "pc", "mailbox"),
+    ("mail", "mailbox", "pc", "mail"),
+]
+
+
+def fig11_query(
+    structural: dict[str, str] | None = None,
+    outputs: list[str] | None = None,
+    person_group: int = 0,
+    seller_group: int = 1,
+    item_group: int = 0,
+) -> GTPQ:
+    """The Fig. 11 query with optional Table 4 predicates / Table 3 outputs.
+
+    Nodes named as a variable in any structural predicate become predicate
+    nodes (with their whole subtrees); when ``outputs`` is ``None`` all
+    remaining backbone nodes are output nodes.
+    """
+    structural = dict(structural or {})
+    formulas = {
+        node_id: parse_formula(text) for node_id, text in structural.items()
+    }
+    predicate_roots: set[str] = set()
+    for formula in formulas.values():
+        predicate_roots.update(formula.variables())
+
+    parent_of = {n: p for n, p, __, ___ in _FIG11_SHAPE if p is not None}
+
+    def is_predicate(node_id: str) -> bool:
+        current: str | None = node_id
+        while current is not None:
+            if current in predicate_roots:
+                return True
+            current = parent_of.get(current)
+        return False
+
+    builder = QueryBuilder()
+    groups = {"pg": person_group, "sg": seller_group, "ig": item_group}
+    for node_id, parent, edge, label_template in _FIG11_SHAPE:
+        label = label_template.format(**groups)
+        kwargs = {"label": label}
+        if parent is not None:
+            kwargs["parent"] = parent
+            kwargs["edge"] = edge
+        if parent is not None and is_predicate(node_id):
+            builder.predicate(node_id, **kwargs)
+        else:
+            builder.backbone(node_id, **kwargs)
+    for node_id, formula in formulas.items():
+        builder.structural(node_id, formula)
+    if outputs is not None:
+        builder.outputs(*outputs)
+    return builder.build()
+
+
+def exp1_query(name: str, **groups) -> GTPQ:
+    """Q4–Q8 of Exp-1 (conjunctive; outputs per Table 3)."""
+    return fig11_query(outputs=TABLE3_OUTPUTS[name], **groups)
+
+
+def exp2_query(name: str, **groups) -> GTPQ:
+    """The Exp-2 GTPQs (Table 4 predicates; all-backbone outputs)."""
+    return fig11_query(structural=TABLE4_PREDICATES[name], **groups)
+
+
+# ----------------------------------------------------------------------
+# Example 1 (DBLP): the motivating queries of the introduction.
+# ----------------------------------------------------------------------
+def dblp_example_query(variant: str) -> GTPQ:
+    """Q1/Q2/Q3 of Example 1 over the DBLP-like graph.
+
+    Q1: papers by Alice AND Bob, published 2000–2010 (conjunctive).
+    Q2: papers by Alice OR Bob,   published 2000–2010 (disjunction).
+    Q3: papers by Alice NOT co-authored with Bob, 2000–2010 (negation).
+    Outputs: paper title/year and conference title, as in Fig. 1's stars.
+    """
+    year_range = AttributePredicate(
+        [("label", "=", "year"), ("value", ">=", 2000), ("value", "<=", 2010)]
+    )
+    alice = AttributePredicate([("label", "=", "author"), ("value", "=", "Alice")])
+    bob = AttributePredicate([("label", "=", "author"), ("value", "=", "Bob")])
+    builder = (
+        QueryBuilder()
+        .backbone("paper", label="inproceedings")
+        .predicate("alice", parent="paper", edge="pc", predicate=alice)
+        .predicate("bob", parent="paper", edge="pc", predicate=bob)
+        .backbone("title", parent="paper", edge="pc", label="title")
+        .backbone("year", parent="paper", edge="pc", label="year")
+        .backbone("crossref", parent="paper", edge="pc", label="crossref")
+        .backbone("conf", parent="crossref", edge="pc", label="proceedings")
+        .backbone("conf_year", parent="conf", edge="pc", predicate=year_range)
+        .backbone("conf_title", parent="conf", edge="pc", label="title")
+    )
+    if variant == "q1":
+        builder.structural("paper", "alice & bob")
+    elif variant == "q2":
+        builder.structural("paper", "alice | bob")
+    elif variant == "q3":
+        builder.structural("paper", "alice & !bob")
+    else:
+        raise ValueError(f"unknown Example 1 variant {variant!r}")
+    return builder.outputs("title", "year", "conf_title").build()

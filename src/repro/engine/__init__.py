@@ -1,0 +1,22 @@
+"""GTEA evaluation engine (S6 in DESIGN.md) — the paper's Section 4."""
+
+from .gtea import GTEA, evaluate_gtea
+from .matching_graph import MatchingGraph, build_matching_graph
+from .prime import compute_prime_subtree, shrink_prime_subtree
+from .prune import PruningContext, prune_downward, prune_upward
+from .results import collect_results
+from .stats import EvaluationStats
+
+__all__ = [
+    "GTEA",
+    "EvaluationStats",
+    "MatchingGraph",
+    "PruningContext",
+    "build_matching_graph",
+    "collect_results",
+    "compute_prime_subtree",
+    "evaluate_gtea",
+    "prune_downward",
+    "prune_upward",
+    "shrink_prime_subtree",
+]

@@ -1,0 +1,135 @@
+"""The maximal matching graph — compact graph-shaped results (Section 4.3).
+
+After pruning, the matches of the *shrunk prime subtree* are materialized
+as a graph ``Qg(G) = (Vr, Er)``: one vertex per surviving candidate, one
+edge per matched query edge.  Every data node appears at most once and
+every structural relationship is a single edge — the paper's alternative
+to exponential tuple sets (space at most quadratic).
+
+Each vertex keeps one *branch list* per query-child, holding the vertices
+matching that child (Example 12's ``bch`` lists).
+"""
+
+from __future__ import annotations
+
+from ..query.gtpq import EdgeType
+from ..reachability.contour import merge_succ_lists
+from .prune import MatSets, PruningContext
+
+
+class MatchingGraph:
+    """Matches of a (shrunk) prime subtree in graph form.
+
+    Attributes:
+        roots: the fragment roots (query-node ids of subtree fragments).
+        vertices: per query node, the list of matched data nodes.
+        branches: ``branches[(query_node, data_node)][child_id]`` is the
+            list of data nodes matching ``child_id`` reachable from
+            ``data_node`` under the edge's semantics.
+    """
+
+    def __init__(self):
+        self.roots: list[str] = []
+        self.children: dict[str, list[str]] = {}
+        self.vertices: dict[str, list[int]] = {}
+        self.branches: dict[tuple[str, int], dict[str, list[int]]] = {}
+
+    @property
+    def num_vertices(self) -> int:
+        return sum(len(nodes) for nodes in self.vertices.values())
+
+    @property
+    def num_edges(self) -> int:
+        return sum(
+            len(targets)
+            for branch_lists in self.branches.values()
+            for targets in branch_lists.values()
+        )
+
+
+def build_matching_graph(
+    context: PruningContext,
+    mats: MatSets,
+    fragments: list[list[str]],
+) -> MatchingGraph:
+    """Compute matches for every query edge of the shrunk prime subtree.
+
+    Args:
+        context: pruning context (graph, query, 3-hop index).
+        mats: fully pruned candidate sets.
+        fragments: each fragment is a pre-order node list of one connected
+            piece of the shrunk prime subtree.
+    """
+    query, graph = context.query, context.graph
+    result = MatchingGraph()
+    for fragment in fragments:
+        fragment_set = set(fragment)
+        result.roots.append(fragment[0])
+        for node_id in fragment:
+            child_ids = [
+                c for c in query.children[node_id] if c in fragment_set
+            ]
+            result.children[node_id] = child_ids
+            result.vertices.setdefault(node_id, list(mats[node_id]))
+            if not child_ids:
+                continue
+            for child_id in child_ids:
+                result.vertices.setdefault(child_id, list(mats[child_id]))
+                if query.edge_type(child_id) is EdgeType.CHILD:
+                    _pc_edges(graph, result, node_id, child_id, mats)
+                else:
+                    _ad_edges(context, result, node_id, child_id, mats)
+    return result
+
+
+def _pc_edges(graph, result: MatchingGraph, parent_id, child_id, mats) -> None:
+    child_set = set(mats[child_id])
+    for source in mats[parent_id]:
+        targets = [t for t in graph.successors(source) if t in child_set]
+        result.branches.setdefault((parent_id, source), {})[child_id] = targets
+
+
+def _ad_edges(
+    context: PruningContext, result: MatchingGraph, parent_id, child_id, mats
+) -> None:
+    """AD edge matches via per-source successor contours.
+
+    For each source the candidates of the child are grouped by chain in
+    ascending order: once one chain member is reachable all deeper members
+    are, so the tail of each chain is filled without index probes (the
+    optimization the paper describes for reusing PruneUpward's technique).
+    """
+    index, reach = context.index, context.reach
+    cover = index.cover
+    by_component: dict[int, list[int]] = {}
+    for candidate in mats[child_id]:
+        by_component.setdefault(reach.component_of(candidate), []).append(candidate)
+    by_chain: dict[int, list[int]] = {}
+    for component in by_component:
+        by_chain.setdefault(cover.cid[component], []).append(component)
+    for members in by_chain.values():
+        members.sort(key=lambda c: cover.sid[c])
+
+    from ..reachability.contour import contour_reaches_node
+
+    for source in mats[parent_id]:
+        source_component = reach.component_of(source)
+        contour = merge_succ_lists(index, [source_component])
+        targets: list[int] = []
+        for members in by_chain.values():
+            confirmed = False
+            for component in members:
+                if confirmed:
+                    targets.extend(by_component[component])
+                    continue
+                if component == source_component:
+                    # Own component: included only when cyclic; everything
+                    # deeper on this chain is reachable via real edges.
+                    if reach.is_cyclic_component(component):
+                        targets.extend(by_component[component])
+                    confirmed = True
+                    continue
+                if contour_reaches_node(index, component, contour):
+                    confirmed = True
+                    targets.extend(by_component[component])
+        result.branches.setdefault((parent_id, source), {})[child_id] = targets

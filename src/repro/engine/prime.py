@@ -1,0 +1,85 @@
+"""Prime-subtree shrinking and fragmenting (paper Section 4.3).
+
+Given the prime subtree (paths from the root to every output node with
+more than one candidate), the *shrunk* prime subtree drops:
+
+* ancestors of the lowest common ancestor of all such outputs (when that
+  lca is not the root), and
+* every node with a singleton candidate set — its single candidate is in
+  every answer and is re-attached during result assembly.
+
+Dropping nodes can disconnect the subtree; the remaining *fragments* are
+enumerated independently and combined by Cartesian product.
+"""
+
+from __future__ import annotations
+
+from ..query.gtpq import GTPQ
+from .prune import MatSets
+
+
+def lowest_common_ancestor(query: GTPQ, nodes: list[str]) -> str:
+    """LCA of a set of query nodes (the root for an empty set)."""
+    if not nodes:
+        return query.root
+    common: set[str] | None = None
+    for node_id in nodes:
+        path = set(query.path_to_root(node_id))
+        common = path if common is None else common & path
+    assert common  # the root is always shared
+    # The deepest node among the common ancestors.
+    return max(common, key=lambda n: len(query.ancestors(n)))
+
+
+def compute_prime_subtree(
+    query: GTPQ, mats: MatSets, outputs: list[str] | None = None
+) -> list[str]:
+    """Nodes on paths from the root to outputs with > 1 candidate."""
+    output_ids = outputs if outputs is not None else query.outputs
+    targets = [o for o in output_ids if len(mats[o]) > 1]
+    prime: set[str] = {query.root}
+    for output in targets:
+        prime.update(query.path_to_root(output))
+    return [node_id for node_id in query.depth_first() if node_id in prime]
+
+
+def shrink_prime_subtree(
+    query: GTPQ, prime: list[str], mats: MatSets, outputs: list[str] | None = None
+) -> list[list[str]]:
+    """Return the fragments of the shrunk prime subtree.
+
+    Each fragment is a pre-order list of query nodes whose first element
+    is the fragment root.  May be empty (every output had one candidate).
+    """
+    output_ids = outputs if outputs is not None else query.outputs
+    prime_set = set(prime)
+    multi_outputs = [
+        o for o in output_ids if o in prime_set and len(mats[o]) > 1
+    ]
+    lca = lowest_common_ancestor(query, multi_outputs)
+    # Drop strict ancestors of the lca, then singleton-candidate nodes.
+    lca_ancestors = set(query.ancestors(lca))
+    kept = [
+        node_id
+        for node_id in prime
+        if node_id not in lca_ancestors and len(mats[node_id]) > 1
+    ]
+    kept_set = set(kept)
+    fragments: list[list[str]] = []
+    for node_id in kept:  # pre-order over the query guarantees parents first
+        parent_id = query.parent.get(node_id)
+        if parent_id is not None and parent_id in kept_set:
+            continue  # belongs to its parent's fragment
+        # A fragment is the connected piece reachable through kept nodes
+        # only; kept descendants separated by a dropped node start their
+        # own fragment (they are combined by Cartesian product later).
+        fragment: list[str] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            fragment.append(current)
+            for child_id in reversed(query.children[current]):
+                if child_id in kept_set:
+                    stack.append(child_id)
+        fragments.append(fragment)
+    return fragments

@@ -1,0 +1,303 @@
+"""The two-round pruning process (paper Procedures 6 and 7).
+
+``prune_downward`` keeps, per query node, only candidates satisfying the
+*downward* structural constraints (the subtree pattern rooted at the node);
+``prune_upward`` then walks the prime subtree top-down and keeps candidates
+reachable from the refined parent sets.
+
+Chain mechanics (Section 4.2.2): candidates are grouped by 3-hop chain and
+processed in descending sequence order.  Along one chain the reach-set only
+grows as the sequence number shrinks, so child valuations are inherited
+monotonically (0 -> 1) and each chain region of the index is scanned once —
+the ``visited`` bookkeeping of the paper's expanded Procedure 6.
+
+Deviations documented in DESIGN.md:
+
+* PC children are evaluated *exactly* with parent/successor set lookups
+  (the paper's Section 4.4 "first strategy"), so negation over PC edges
+  needs no special casing;
+* upward pruning also refines across parents with singleton candidate
+  sets — required for correctness of the Cartesian assembly when shrinking
+  disconnects the prime subtree (see the analysis in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..graph.digraph import DataGraph
+from ..logic import evaluate
+from ..query.gtpq import GTPQ, EdgeType
+from ..reachability.base import GraphReachability
+from ..reachability.contour import Contour, merge_pred_lists, merge_succ_lists
+from ..reachability.three_hop import ThreeHopIndex
+
+#: Candidate sets per query node (data-node ids).
+MatSets = dict[str, list[int]]
+
+
+class PruningContext:
+    """Shared state between the two pruning rounds."""
+
+    def __init__(self, graph: DataGraph, query: GTPQ, reach: GraphReachability):
+        if not isinstance(reach.index, ThreeHopIndex):
+            raise TypeError(
+                "GTEA pruning requires the 3-hop index "
+                f"(got {type(reach.index).__name__}); see build_reachability()"
+            )
+        self.graph = graph
+        self.query = query
+        self.reach = reach
+        self.index: ThreeHopIndex = reach.index
+        self.pred_contours: dict[str, Contour] = {}
+
+    def dag_images(self, nodes: list[int]) -> list[int]:
+        """Distinct DAG components of a set of data nodes."""
+        scc_of = self.reach.condensation.scc_of
+        return sorted({scc_of[node] for node in nodes})
+
+
+def prune_downward(context: PruningContext, mats: MatSets) -> MatSets:
+    """Procedure 6: keep candidates satisfying downward constraints.
+
+    Predecessor contours are only materialized for nodes entered through
+    an AD edge — PC children are checked with exact successor lookups, so
+    their contours would never be read (a large saving on the paper's
+    PC-heavy XMark workloads).
+    """
+    query, index = context.query, context.index
+    refined: MatSets = {}
+    for node_id in query.bottom_up():
+        children = query.children[node_id]
+        if not children:
+            refined[node_id] = list(mats[node_id])
+        else:
+            refined[node_id] = _filter_downward(
+                context, node_id, mats[node_id], refined
+            )
+        needs_contour = (
+            node_id != query.root
+            and query.edge_type(node_id) is EdgeType.DESCENDANT
+        )
+        if needs_contour:
+            context.pred_contours[node_id] = merge_pred_lists(
+                index, context.dag_images(refined[node_id])
+            )
+    return refined
+
+
+def _filter_downward(
+    context: PruningContext,
+    node_id: str,
+    candidates: list[int],
+    refined: MatSets,
+) -> list[int]:
+    """Evaluate ``fext(node_id)`` for every candidate; keep the satisfied."""
+    query, graph = context.query, context.graph
+    ad_children = [
+        c for c in query.children[node_id]
+        if query.edge_type(c) is EdgeType.DESCENDANT
+    ]
+    pc_children = [
+        c for c in query.children[node_id]
+        if query.edge_type(c) is EdgeType.CHILD
+    ]
+    # Section 4.4: "merge the set of parents of mat(u') for each child u'
+    # into P_{u'}" — one pass over the child candidates, O(1) per check.
+    pc_parent_sets = {
+        c: {p for w in refined[c] for p in graph.predecessors(w)}
+        for c in pc_children
+    }
+    fext = query.fext(node_id)
+
+    # The chain-shared contour machinery only pays off when there are AD
+    # children to valuate; PC-only nodes (common in XMark patterns) skip
+    # it entirely.
+    if ad_children:
+        ad_valuations = _ad_valuations_by_component(
+            context,
+            candidates,
+            {c: context.pred_contours[c] for c in ad_children},
+            {c: refined[c] for c in ad_children},
+        )
+    else:
+        ad_valuations = {}
+
+    survivors: list[int] = []
+    for candidate in candidates:
+        component = context.reach.component_of(candidate)
+        valuation = dict(ad_valuations.get(component, {}))
+        for child_id, parent_set in pc_parent_sets.items():
+            valuation[child_id] = candidate in parent_set
+        if evaluate(fext, valuation, default=False):
+            survivors.append(candidate)
+    return survivors
+
+
+def _ad_valuations_by_component(
+    context: PruningContext,
+    candidates: list[int],
+    contours: dict[str, Contour],
+    child_mats: dict[str, list[int]],
+) -> dict[int, dict[str, bool]]:
+    """AD child valuations, computed once per DAG component.
+
+    Implements the shared chain scan of Procedure 6: components grouped by
+    chain, processed in descending sequence order; a valuation set to true
+    at a deep component is inherited by every shallower component on the
+    chain, and index regions are never re-scanned.
+    """
+    index, reach = context.index, context.reach
+    cover = index.cover
+    components = sorted(
+        {reach.component_of(candidate) for candidate in candidates}
+    )
+    # Cyclic same-component hits: candidate's component contains a child
+    # match and is cyclic -> the candidate strictly reaches that match.
+    child_component_sets = {
+        child_id: set(context.dag_images(nodes))
+        for child_id, nodes in child_mats.items()
+    }
+
+    by_chain: dict[int, list[int]] = {}
+    for component in components:
+        by_chain.setdefault(cover.cid[component], []).append(component)
+
+    result: dict[int, dict[str, bool]] = {}
+    child_ids = list(contours)
+    for chain, members in by_chain.items():
+        members.sort(key=lambda c: cover.sid[c], reverse=True)
+        valuation = {child_id: False for child_id in child_ids}
+        pending = {
+            child_id for child_id in child_ids if len(contours[child_id]) > 0
+        }
+        scanned_up_to: int | None = None  # smallest sid already scanned
+        for component in members:
+            sid = cover.sid[component]
+            if pending:
+                for child_id in list(pending):
+                    upper = contours[child_id].get(chain)
+                    if upper is not None and sid <= upper:
+                        valuation[child_id] = True
+                        pending.discard(child_id)
+                if pending:
+                    for entry_chain, entry_sid in index.iter_out_entries(
+                        component, stop_sid=scanned_up_to
+                    ):
+                        for child_id in list(pending):
+                            upper = contours[child_id].get(entry_chain)
+                            if upper is not None and entry_sid <= upper:
+                                valuation[child_id] = True
+                                pending.discard(child_id)
+                        if not pending:
+                            break
+                scanned_up_to = sid
+            entry = dict(valuation)
+            if context.reach.is_cyclic_component(component):
+                for child_id in child_ids:
+                    if not entry[child_id] and component in child_component_sets[child_id]:
+                        entry[child_id] = True
+            result[component] = entry
+        # Components with every valuation known still record their entry.
+    return result
+
+
+def prune_upward(
+    context: PruningContext, mats: MatSets, prime: list[str]
+) -> MatSets:
+    """Procedure 7: keep candidates reachable from refined parent sets.
+
+    Traverses the prime subtree top-down.  AD edges use successor contours
+    with the ascending-chain early exit ("once a node is confirmed, all
+    larger nodes on the chain satisfy the condition"); PC edges use exact
+    parent-set membership.
+    """
+    query, index, reach = context.query, context.index, context.reach
+    graph = context.graph
+    prime_set = set(prime)
+    refined = {node_id: list(nodes) for node_id, nodes in mats.items()}
+    succ_contours: dict[str, Contour] = {}
+    for node_id in prime:  # pre-order: parents first
+        children = [c for c in query.children[node_id] if c in prime_set]
+        if not children:
+            continue
+        parent_nodes = refined[node_id]
+        parent_components = context.dag_images(parent_nodes)
+        parent_component_set = set(parent_components)
+        contour = succ_contours.get(node_id)
+        if contour is None:
+            contour = merge_succ_lists(index, parent_components)
+            succ_contours[node_id] = contour
+        parent_data_set = set(parent_nodes)
+        for child_id in children:
+            if query.edge_type(child_id) is EdgeType.CHILD:
+                refined[child_id] = [
+                    candidate
+                    for candidate in refined[child_id]
+                    if any(
+                        p in parent_data_set
+                        for p in graph.predecessors(candidate)
+                    )
+                ]
+            else:
+                refined[child_id] = _filter_upward_ad(
+                    context, refined[child_id], contour, parent_component_set
+                )
+            succ_contours[child_id] = merge_succ_lists(
+                index, context.dag_images(refined[child_id])
+            )
+    return refined
+
+
+def _filter_upward_ad(
+    context: PruningContext,
+    candidates: list[int],
+    contour: Contour,
+    parent_components: set[int],
+) -> list[int]:
+    """Keep candidates the parent set strictly reaches (Proposition 7)."""
+    index, reach = context.index, context.reach
+    cover = index.cover
+    by_component: dict[int, list[int]] = {}
+    for candidate in candidates:
+        by_component.setdefault(reach.component_of(candidate), []).append(candidate)
+    by_chain: dict[int, list[int]] = {}
+    for component in by_component:
+        by_chain.setdefault(cover.cid[component], []).append(component)
+
+    reachable_components: set[int] = set()
+    for chain, members in by_chain.items():
+        members.sort(key=lambda c: cover.sid[c])  # ascending
+        confirmed = False
+        for component in members:
+            if not confirmed:
+                # Once one chain member is reached, all deeper members are
+                # reached through the chain (real-edge chains), including
+                # the cyclic same-component case.
+                confirmed = _component_reached(
+                    index, component, chain, contour
+                ) or (
+                    component in parent_components
+                    and reach.is_cyclic_component(component)
+                )
+            if confirmed:
+                reachable_components.add(component)
+    return [
+        candidate
+        for candidate in candidates
+        if reach.component_of(candidate) in reachable_components
+    ]
+
+
+def _component_reached(
+    index: ThreeHopIndex, component: int, chain: int, contour: Contour
+) -> bool:
+    """Does the contour (strict successor) reach ``component``?"""
+    index.counters.lookups += 1
+    cover = index.cover
+    lower = contour.get(chain)
+    if lower is not None and lower <= cover.sid[component]:
+        return True
+    for entry_chain, entry_sid in index.iter_in_entries(component):
+        bound = contour.get(entry_chain)
+        if bound is not None and bound <= entry_sid:
+            return True
+    return False

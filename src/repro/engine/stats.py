@@ -1,0 +1,76 @@
+"""Evaluation statistics — the I/O metrics of Appendix C.1 (Fig. 10).
+
+Three headline numbers per evaluation:
+
+* ``input_nodes`` (#input) — data nodes fetched as candidate matches;
+* ``index_entries`` (#index) — elements retrieved from index lists;
+* ``intermediate_cost`` (#intermediate_results) — for GTEA, twice the node
+  plus edge count of the maximal matching graph (paper's definition).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EvaluationStats:
+    """Counters and phase timings collected during one evaluation."""
+
+    input_nodes: int = 0
+    index_lookups: int = 0
+    index_entries: int = 0
+    matching_graph_nodes: int = 0
+    matching_graph_edges: int = 0
+    #: tuple-shaped intermediates (path solutions, join results) — used by
+    #: the baseline algorithms; GTEA keeps this at zero.
+    intermediate_tuples: int = 0
+    result_count: int = 0
+    candidates_initial: dict[str, int] = field(default_factory=dict)
+    candidates_after_downward: dict[str, int] = field(default_factory=dict)
+    candidates_after_upward: dict[str, int] = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def intermediate_cost(self) -> int:
+        """The paper's #intermediate metric.
+
+        Graph-shaped intermediates cost twice their node+edge count
+        (GTEA); tuple-shaped intermediates cost one unit per stored tuple
+        element set (baselines).
+        """
+        return 2 * (self.matching_graph_nodes + self.matching_graph_edges) + (
+            self.intermediate_tuples
+        )
+
+    def time_phase(self, name: str):
+        """Context manager accumulating wall time into ``phase_seconds``."""
+        return _PhaseTimer(self, name)
+
+    def row(self) -> dict[str, float]:
+        return {
+            "#input": self.input_nodes,
+            "#index": self.index_entries,
+            "#intermediate": self.intermediate_cost,
+            "results": self.result_count,
+            **{f"t_{k}": round(v, 6) for k, v in self.phase_seconds.items()},
+        }
+
+
+class _PhaseTimer:
+    def __init__(self, stats: EvaluationStats, name: str):
+        self._stats = stats
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        elapsed = time.perf_counter() - self._start
+        self._stats.phase_seconds[self._name] = (
+            self._stats.phase_seconds.get(self._name, 0.0) + elapsed
+        )
+        return False

@@ -1,0 +1,29 @@
+"""Attributed digraph substrate (S2 in DESIGN.md)."""
+
+from .condensation import Condensation, condense
+from .digraph import DataGraph
+from .stats import GraphStats, graph_stats
+from .traversal import (
+    ancestors,
+    bfs_layers,
+    descendants,
+    is_dag,
+    node_depths,
+    reaches,
+    topological_order,
+)
+
+__all__ = [
+    "Condensation",
+    "DataGraph",
+    "GraphStats",
+    "ancestors",
+    "bfs_layers",
+    "condense",
+    "descendants",
+    "graph_stats",
+    "is_dag",
+    "node_depths",
+    "reaches",
+    "topological_order",
+]

@@ -1,0 +1,142 @@
+"""Strongly connected components and DAG condensation.
+
+The paper's AD relationship means "nonempty path", so on cyclic graphs every
+node of a non-trivial SCC is a descendant of every other (and of itself).
+All reachability indexes in :mod:`repro.reachability` are built on the
+condensation DAG; this module computes it with an iterative Tarjan SCC so
+deep graphs do not hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from .digraph import DataGraph
+
+
+class Condensation:
+    """The condensation DAG of a :class:`~repro.graph.digraph.DataGraph`.
+
+    Attributes:
+        scc_of: for each data node, the id of its component (``0..k-1``),
+            numbered in *reverse topological* order of the condensation
+            (Tarjan's output order), i.e. if component ``a`` reaches ``b``
+            then ``a > b``.
+        members: for each component, the list of data nodes inside it.
+        cyclic: for each component, True iff it contains a cycle (size > 1
+            or a self-loop) — exactly when its nodes are their own
+            descendants under nonempty-path semantics.
+    """
+
+    __slots__ = ("scc_of", "members", "cyclic", "_succ", "_pred", "_edge_count")
+
+    def __init__(self, graph: DataGraph):
+        self.scc_of, self.members = _tarjan(graph)
+        count = len(self.members)
+        self.cyclic = [len(nodes) > 1 for nodes in self.members]
+        succ_sets: list[set[int]] = [set() for _ in range(count)]
+        for source, target in graph.edges():
+            cs, ct = self.scc_of[source], self.scc_of[target]
+            if cs == ct:
+                if source == target:
+                    self.cyclic[cs] = True
+                continue
+            succ_sets[cs].add(ct)
+        self._succ = [sorted(targets) for targets in succ_sets]
+        self._pred: list[list[int]] = [[] for _ in range(count)]
+        for source, targets in enumerate(self._succ):
+            for target in targets:
+                self._pred[target].append(source)
+        self._edge_count = sum(len(targets) for targets in self._succ)
+
+    # -- DAG view -------------------------------------------------------
+    @property
+    def num_components(self) -> int:
+        return len(self.members)
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def successors(self, component: int) -> list[int]:
+        return self._succ[component]
+
+    def predecessors(self, component: int) -> list[int]:
+        return self._pred[component]
+
+    def topological_order(self) -> list[int]:
+        """Components in topological order (sources first).
+
+        Tarjan numbers components in reverse topological order, so this is
+        just the reversed id sequence — no extra traversal needed.
+        """
+        return list(range(len(self.members) - 1, -1, -1))
+
+    def is_trivial(self) -> bool:
+        """True iff the input graph was already a DAG without self-loops."""
+        return not any(self.cyclic)
+
+
+def _tarjan(graph: DataGraph) -> tuple[list[int], list[list[int]]]:
+    """Iterative Tarjan SCC.
+
+    Returns ``(scc_of, members)`` with components numbered in reverse
+    topological order (a component is numbered only after everything it
+    reaches).
+    """
+    n = graph.num_nodes
+    UNVISITED = -1
+    index_of = [UNVISITED] * n
+    low_link = [0] * n
+    on_stack = [False] * n
+    scc_of = [UNVISITED] * n
+    members: list[list[int]] = []
+    stack: list[int] = []
+    next_index = 0
+
+    for start in range(n):
+        if index_of[start] != UNVISITED:
+            continue
+        # Each frame is [node, iterator position over successors].
+        work: list[list[int]] = [[start, 0]]
+        while work:
+            frame = work[-1]
+            node, position = frame
+            if position == 0:
+                index_of[node] = next_index
+                low_link[node] = next_index
+                next_index += 1
+                stack.append(node)
+                on_stack[node] = True
+            successors = graph.successors(node)
+            advanced = False
+            while frame[1] < len(successors):
+                successor = successors[frame[1]]
+                frame[1] += 1
+                if index_of[successor] == UNVISITED:
+                    work.append([successor, 0])
+                    advanced = True
+                    break
+                if on_stack[successor]:
+                    low_link[node] = min(low_link[node], index_of[successor])
+            if advanced:
+                continue
+            # Node finished: close component if it is a root.
+            if low_link[node] == index_of[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    scc_of[member] = len(members)
+                    component.append(member)
+                    if member == node:
+                        break
+                members.append(component)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low_link[parent] = min(low_link[parent], low_link[node])
+    return scc_of, members
+
+
+def condense(graph: DataGraph) -> Condensation:
+    """Compute the condensation of ``graph``."""
+    return Condensation(graph)

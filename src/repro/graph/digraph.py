@@ -1,0 +1,178 @@
+"""Attributed directed data graphs (paper Section 2).
+
+A data graph is ``G = (V, E, f)`` where ``f`` maps each node to a tuple of
+attribute/value pairs.  Nodes are dense integer ids ``0..n-1`` so that the
+index structures (chains, intervals, bitsets) can use flat arrays.
+
+The paper's examples attach a single *label* (``a1``, ``c2`` …) standing for
+the whole attribute tuple; :meth:`DataGraph.add_node` accepts arbitrary
+attribute dictionaries and the common case of a bare label is stored under
+the attribute name ``"label"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+
+class DataGraph:
+    """A directed graph whose nodes carry attribute dictionaries.
+
+    Edges are stored as forward and reverse adjacency lists.  Parallel edges
+    are collapsed (the semantics of PC/AD relationships only care about edge
+    existence) and self-loops are permitted (they make a node its own
+    descendant under the paper's nonempty-path AD semantics).
+    """
+
+    __slots__ = ("_attrs", "_succ", "_pred", "_edge_count", "_label_index")
+
+    def __init__(self):
+        self._attrs: list[dict[str, Any]] = []
+        self._succ: list[list[int]] = []
+        self._pred: list[list[int]] = []
+        self._edge_count = 0
+        self._label_index: dict[Any, list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, attrs: Mapping[str, Any] | None = None, *, label: Any = None) -> int:
+        """Add a node and return its id.
+
+        Args:
+            attrs: attribute dictionary (the paper's ``f(v)`` tuple).
+            label: shorthand for ``attrs={"label": label}``; merged into
+                ``attrs`` when both are given.
+        """
+        node_attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        if label is not None:
+            node_attrs.setdefault("label", label)
+        self._attrs.append(node_attrs)
+        self._succ.append([])
+        self._pred.append([])
+        self._label_index = None
+        return len(self._attrs) - 1
+
+    def add_edge(self, source: int, target: int) -> bool:
+        """Add edge ``source -> target``; returns False if already present."""
+        self._check(source)
+        self._check(target)
+        if target in self._succ[source]:
+            return False
+        self._succ[source].append(target)
+        self._pred[target].append(source)
+        self._edge_count += 1
+        return True
+
+    @classmethod
+    def from_edges(
+        cls,
+        labels: Iterable[Any],
+        edges: Iterable[tuple[int, int]],
+    ) -> "DataGraph":
+        """Build a graph from a label sequence and an edge list.
+
+        Convenient for tests and for transcribing the paper's figures::
+
+            g = DataGraph.from_edges("ab", [(0, 1)])
+        """
+        graph = cls()
+        for label in labels:
+            graph.add_node(label=label)
+        for source, target in edges:
+            graph.add_edge(source, target)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def _check(self, node: int) -> None:
+        if not 0 <= node < len(self._attrs):
+            raise IndexError(f"node {node} not in graph of size {len(self._attrs)}")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._attrs)
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def nodes(self) -> range:
+        """Iterate node ids."""
+        return range(len(self._attrs))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate ``(source, target)`` pairs."""
+        for source, targets in enumerate(self._succ):
+            for target in targets:
+                yield (source, target)
+
+    def attrs(self, node: int) -> dict[str, Any]:
+        """The attribute dictionary ``f(v)`` of ``node``."""
+        self._check(node)
+        return self._attrs[node]
+
+    def label(self, node: int) -> Any:
+        """The ``"label"`` attribute, or None when absent."""
+        self._check(node)
+        return self._attrs[node].get("label")
+
+    def successors(self, node: int) -> list[int]:
+        """Children of ``node`` (PC relationship targets)."""
+        self._check(node)
+        return self._succ[node]
+
+    def predecessors(self, node: int) -> list[int]:
+        """Parents of ``node``."""
+        self._check(node)
+        return self._pred[node]
+
+    def out_degree(self, node: int) -> int:
+        self._check(node)
+        return len(self._succ[node])
+
+    def in_degree(self, node: int) -> int:
+        self._check(node)
+        return len(self._pred[node])
+
+    def has_edge(self, source: int, target: int) -> bool:
+        self._check(source)
+        self._check(target)
+        return target in self._succ[source]
+
+    def roots(self) -> list[int]:
+        """Nodes without incoming edges."""
+        return [node for node in self.nodes() if not self._pred[node]]
+
+    def leaves(self) -> list[int]:
+        """Nodes without outgoing edges."""
+        return [node for node in self.nodes() if not self._succ[node]]
+
+    # ------------------------------------------------------------------
+    # Candidate-matching support
+    # ------------------------------------------------------------------
+    def nodes_with_label(self, label: Any) -> list[int]:
+        """All nodes whose ``"label"`` attribute equals ``label``.
+
+        Backed by a lazily built inverted index, mirroring how the paper's
+        implementations stream ``mat(u)`` per query node without a full
+        graph scan per query.
+        """
+        if self._label_index is None:
+            index: dict[Any, list[int]] = {}
+            for node, attrs in enumerate(self._attrs):
+                node_label = attrs.get("label")
+                if node_label is not None:
+                    index.setdefault(node_label, []).append(node)
+            self._label_index = index
+        return list(self._label_index.get(label, ()))
+
+    def distinct_labels(self) -> set[Any]:
+        """The set of distinct ``"label"`` values present in the graph."""
+        return {
+            attrs["label"] for attrs in self._attrs if attrs.get("label") is not None
+        }
+
+    def __repr__(self) -> str:
+        return f"DataGraph(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,121 @@
+"""Graph traversal utilities: topological order, reachability oracles.
+
+The DFS/BFS reachability functions here are deliberately simple; they serve
+as *oracles* for testing the index structures of :mod:`repro.reachability`
+and as building blocks for baseline algorithms (e.g. TwigStackD's
+pre-filtering performs whole-graph sweeps).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from .digraph import DataGraph
+
+
+def topological_order(graph: DataGraph) -> list[int]:
+    """Kahn topological order of a DAG.
+
+    Raises:
+        ValueError: if the graph contains a cycle (condense it first).
+    """
+    in_degree = [graph.in_degree(node) for node in graph.nodes()]
+    queue = deque(node for node in graph.nodes() if in_degree[node] == 0)
+    order: list[int] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for successor in graph.successors(node):
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                queue.append(successor)
+    if len(order) != graph.num_nodes:
+        raise ValueError("graph has a cycle; topological order undefined")
+    return order
+
+
+def is_dag(graph: DataGraph) -> bool:
+    """True iff the graph is acyclic (self-loops count as cycles)."""
+    try:
+        topological_order(graph)
+    except ValueError:
+        return False
+    return all(not graph.has_edge(node, node) for node in graph.nodes())
+
+
+def descendants(graph: DataGraph, node: int) -> set[int]:
+    """All strict descendants of ``node`` (nonempty-path semantics).
+
+    ``node`` itself is included only when it lies on a cycle, matching the
+    paper's AD relationship.
+    """
+    seen: set[int] = set()
+    stack = list(graph.successors(node))
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.successors(current))
+    return seen
+
+
+def ancestors(graph: DataGraph, node: int) -> set[int]:
+    """All strict ancestors of ``node`` (nonempty-path semantics)."""
+    seen: set[int] = set()
+    stack = list(graph.predecessors(node))
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.predecessors(current))
+    return seen
+
+
+def reaches(graph: DataGraph, source: int, target: int) -> bool:
+    """Strict reachability oracle: is there a nonempty path source->target?"""
+    stack = list(graph.successors(source))
+    seen: set[int] = set()
+    while stack:
+        current = stack.pop()
+        if current == target:
+            return True
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.successors(current))
+    return False
+
+
+def bfs_layers(graph: DataGraph, sources: Iterable[int]) -> list[list[int]]:
+    """BFS layers from ``sources``; used by generators and statistics."""
+    seen = set(sources)
+    frontier = list(seen)
+    layers: list[list[int]] = []
+    while frontier:
+        layers.append(frontier)
+        next_frontier: list[int] = []
+        for node in frontier:
+            for successor in graph.successors(node):
+                if successor not in seen:
+                    seen.add(successor)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    return layers
+
+
+def node_depths(graph: DataGraph) -> list[int]:
+    """Longest-path depth of each node from the root set of a DAG.
+
+    Roots have depth 0.  Used by the statistics module to report the
+    "average depth" figures the paper quotes for XMark (~5).
+    """
+    order = topological_order(graph)
+    depth = [0] * graph.num_nodes
+    for node in order:
+        for successor in graph.successors(node):
+            if depth[node] + 1 > depth[successor]:
+                depth[successor] = depth[node] + 1
+    return depth

@@ -1,0 +1,94 @@
+"""Propositional logic engine (substrate S1 in DESIGN.md).
+
+Everything the paper's Sections 2–4 need from propositional logic:
+formula ASTs, parsing, evaluation, substitution/renaming, normal forms,
+Tseitin encoding, and a DPLL solver exposing SAT / tautology / entailment /
+equivalence decision procedures.
+"""
+
+from .assignment import (
+    all_assignments,
+    brute_force_satisfiable,
+    brute_force_tautology,
+    count_models,
+    evaluate,
+    models,
+)
+from .formula import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Formula,
+    Not,
+    Or,
+    Var,
+    implies,
+    land,
+    lnot,
+    lor,
+    lxor,
+    var,
+)
+from .parser import FormulaParseError, parse_formula
+from .sat import (
+    disjoint,
+    entails,
+    equivalent,
+    is_satisfiable,
+    is_tautology,
+    satisfying_assignment,
+    xor_satisfiable,
+)
+from .transform import (
+    cnf_clauses,
+    dnf_terms,
+    rename,
+    simplify,
+    substitute,
+    to_cnf,
+    to_dnf,
+    to_nnf,
+)
+from .tseitin import CnfInstance, tseitin_cnf
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "And",
+    "CnfInstance",
+    "Const",
+    "Formula",
+    "FormulaParseError",
+    "Not",
+    "Or",
+    "Var",
+    "all_assignments",
+    "brute_force_satisfiable",
+    "brute_force_tautology",
+    "cnf_clauses",
+    "count_models",
+    "disjoint",
+    "dnf_terms",
+    "entails",
+    "equivalent",
+    "evaluate",
+    "implies",
+    "is_satisfiable",
+    "is_tautology",
+    "land",
+    "lnot",
+    "lor",
+    "lxor",
+    "models",
+    "parse_formula",
+    "rename",
+    "satisfying_assignment",
+    "simplify",
+    "substitute",
+    "to_cnf",
+    "to_dnf",
+    "to_nnf",
+    "tseitin_cnf",
+    "var",
+]

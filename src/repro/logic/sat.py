@@ -1,0 +1,156 @@
+"""DPLL satisfiability solving and derived decision procedures.
+
+Section 3 of the paper reduces every hard query-analysis question to SAT
+or TAUT instances over structural-predicate variables:
+
+* satisfiability of a GTPQ  -> SAT of ``fa(root)`` and ``fcs(root)`` (Thm 1);
+* containment (Thm 3)       -> a tautology check per candidate homomorphism;
+* minimization (Alg. 1)     -> tautology checks ``fcs(root) -> ±p_u``.
+
+The paper argues (Sec. 3.3) that off-the-shelf SAT is fine because queries
+are small; this module is that SAT solver: Tseitin encoding + DPLL with
+unit propagation and pure-literal elimination.
+"""
+
+from __future__ import annotations
+
+from .formula import Formula, land, lnot, lor
+from .tseitin import Clause, CnfInstance, tseitin_cnf
+
+
+def is_satisfiable(formula: Formula) -> bool:
+    """True iff some assignment satisfies ``formula``."""
+    return satisfying_assignment(formula) is not None
+
+
+def satisfying_assignment(formula: Formula) -> dict[str, bool] | None:
+    """Return a model of ``formula`` over its original variables, or None."""
+    instance = tseitin_cnf(formula)
+    model = _dpll(instance)
+    if model is None:
+        return None
+    return instance.decode(model)
+
+
+def is_tautology(formula: Formula) -> bool:
+    """True iff ``formula`` holds under every assignment."""
+    return not is_satisfiable(lnot(formula))
+
+
+def entails(antecedent: Formula, consequent: Formula) -> bool:
+    """True iff ``antecedent -> consequent`` is a tautology.
+
+    This is the workhorse of the similarity/homomorphism conditions
+    (``ftr(u2) -> ftr(u1)[u1 |-> u2]`` etc.).
+    """
+    return not is_satisfiable(land(antecedent, lnot(consequent)))
+
+
+def equivalent(left: Formula, right: Formula) -> bool:
+    """True iff the two formulas agree under every assignment."""
+    return entails(left, right) and entails(right, left)
+
+
+def _dpll(instance: CnfInstance) -> dict[int, bool] | None:
+    """DPLL with unit propagation and pure-literal elimination.
+
+    Returns a (possibly partial) model as ``{var_index: value}`` or ``None``
+    if unsatisfiable.  Clauses are represented as literal lists; the solver
+    copies the clause database on branching, which is acceptable for the
+    query-sized instances this library produces.
+    """
+    clauses = [list(clause) for clause in instance.clauses]
+    assignment: dict[int, bool] = {}
+    if not _search(clauses, assignment):
+        return None
+    return assignment
+
+
+def _search(clauses: list[Clause], assignment: dict[int, bool]) -> bool:
+    clauses = _propagate(clauses, assignment)
+    if clauses is None:
+        return False
+    if not clauses:
+        return True
+
+    # Pure literal elimination: a variable occurring with one polarity only
+    # can be set to that polarity without loss.
+    polarity_seen: dict[int, set[bool]] = {}
+    for clause in clauses:
+        for index, polarity in clause:
+            polarity_seen.setdefault(index, set()).add(polarity)
+    pures = {
+        index: next(iter(polarities))
+        for index, polarities in polarity_seen.items()
+        if len(polarities) == 1
+    }
+    if pures:
+        assignment.update(pures)
+        remaining = [
+            clause
+            for clause in clauses
+            if not any(index in pures for index, _ in clause)
+        ]
+        return _search(remaining, assignment)
+
+    # Branch on the first literal of the shortest clause.
+    branch_clause = min(clauses, key=len)
+    index, polarity = branch_clause[0]
+    for value in (polarity, not polarity):
+        trail = dict(assignment)
+        trail[index] = value
+        copied = [list(clause) for clause in clauses]
+        if _search(copied, trail):
+            assignment.clear()
+            assignment.update(trail)
+            return True
+    return False
+
+
+def _propagate(clauses: list[Clause], assignment: dict[int, bool]) -> list[Clause] | None:
+    """Unit propagation; returns simplified clauses or None on conflict."""
+    changed = True
+    while changed:
+        changed = False
+        next_clauses: list[Clause] = []
+        for clause in clauses:
+            simplified: Clause = []
+            satisfied = False
+            for index, polarity in clause:
+                if index in assignment:
+                    if assignment[index] == polarity:
+                        satisfied = True
+                        break
+                    continue  # literal falsified, drop it
+                simplified.append((index, polarity))
+            if satisfied:
+                continue
+            if not simplified:
+                return None  # empty clause: conflict
+            if len(simplified) == 1:
+                index, polarity = simplified[0]
+                assignment[index] = polarity
+                changed = True
+            else:
+                next_clauses.append(simplified)
+        clauses = next_clauses
+    return clauses
+
+
+def implication_holds(antecedents: list[Formula], consequent: Formula) -> bool:
+    """Convenience: does the conjunction of ``antecedents`` entail ``consequent``?"""
+    return entails(land(*antecedents), consequent)
+
+
+def disjoint(left: Formula, right: Formula) -> bool:
+    """True iff ``left & right`` is unsatisfiable (no shared model)."""
+    return not is_satisfiable(land(left, right))
+
+
+def xor_satisfiable(left: Formula, right: Formula) -> bool:
+    """True iff some assignment distinguishes ``left`` from ``right``.
+
+    Equivalent to "left and right are *not* logically equivalent"; used by
+    the independently-constraint-node test of Section 3.1.
+    """
+    return is_satisfiable(lor(land(left, lnot(right)), land(lnot(left), right)))

@@ -1,0 +1,220 @@
+"""Formula transformations: substitution, simplification, normal forms.
+
+The analysis algorithms of Section 3 are phrased in terms of these
+operations: ``fs(u)[p/x]`` (Algorithm 1 lines 6/11/18 and the
+independently-constraint-node test), variable renaming ``f[u1 -> u2]``
+(similarity and homomorphism checks) and CNF/DNF conversion (used by the
+decomposition wrapper of Appendix C.2 and referenced by the B-twig
+comparison at the end of Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .formula import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Formula,
+    Not,
+    Or,
+    Var,
+    land,
+    lnot,
+    lor,
+)
+
+
+def substitute(formula: Formula, bindings: Mapping[str, Formula | bool]) -> Formula:
+    """Replace variables by formulas or constants, simplifying on the way.
+
+    ``substitute(f, {"p": True})`` is the paper's ``f[p/1]``;
+    ``substitute(f, {"p": Var("q")})`` is the renaming ``f[p -> q]``.
+    """
+    resolved: dict[str, Formula] = {}
+    for name, value in bindings.items():
+        if isinstance(value, Formula):
+            resolved[name] = value
+        else:
+            resolved[name] = TRUE if value else FALSE
+    return _substitute(formula, resolved)
+
+
+def _substitute(formula: Formula, bindings: Mapping[str, Formula]) -> Formula:
+    if isinstance(formula, Const):
+        return formula
+    if isinstance(formula, Var):
+        return bindings.get(formula.name, formula)
+    if isinstance(formula, Not):
+        return lnot(_substitute(formula.child, bindings))
+    if isinstance(formula, And):
+        return land(*(_substitute(c, bindings) for c in formula.children))
+    if isinstance(formula, Or):
+        return lor(*(_substitute(c, bindings) for c in formula.children))
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def rename(formula: Formula, mapping: Mapping[str, str]) -> Formula:
+    """Rename variables: the paper's ``f[u1 |-> u2]`` notation."""
+    return _substitute(formula, {old: Var(new) for old, new in mapping.items()})
+
+
+def simplify(formula: Formula) -> Formula:
+    """Rebuild the formula through the smart constructors.
+
+    Catches simplifications that only become visible after substitution
+    (nested constants, duplicated or complementary operands).  Idempotent.
+    """
+    if isinstance(formula, (Const, Var)):
+        return formula
+    if isinstance(formula, Not):
+        return lnot(simplify(formula.child))
+    if isinstance(formula, And):
+        return land(*(simplify(c) for c in formula.children))
+    if isinstance(formula, Or):
+        return lor(*(simplify(c) for c in formula.children))
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negation only on variables."""
+    return _nnf(formula, negated=False)
+
+
+def _nnf(formula: Formula, negated: bool) -> Formula:
+    if isinstance(formula, Const):
+        return lnot(formula) if negated else formula
+    if isinstance(formula, Var):
+        return Not(formula) if negated else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.child, not negated)
+    if isinstance(formula, And):
+        parts = (_nnf(c, negated) for c in formula.children)
+        return lor(*parts) if negated else land(*parts)
+    if isinstance(formula, Or):
+        parts = (_nnf(c, negated) for c in formula.children)
+        return land(*parts) if negated else lor(*parts)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def to_cnf(formula: Formula) -> Formula:
+    """Conjunctive normal form by distribution.
+
+    Worst-case exponential (this blow-up is exactly the cost the paper
+    attributes to the OR-block normalization of AND/OR- and B-twigs at the
+    end of Section 2); fine for the small predicates found in queries.  For
+    satisfiability of large formulas use
+    :func:`repro.logic.tseitin.tseitin_cnf` instead.
+    """
+    return _distribute_cnf(to_nnf(formula))
+
+
+def _distribute_cnf(formula: Formula) -> Formula:
+    if isinstance(formula, (Const, Var, Not)):
+        return formula
+    if isinstance(formula, And):
+        return land(*(_distribute_cnf(c) for c in formula.children))
+    if isinstance(formula, Or):
+        children = [_distribute_cnf(c) for c in formula.children]
+        # Fold pairwise: (A & B) | rest -> (A | rest) & (B | rest)
+        result = children[0]
+        for child in children[1:]:
+            result = _or_of_cnfs(result, child)
+        return result
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _or_of_cnfs(left: Formula, right: Formula) -> Formula:
+    left_clauses = left.children if isinstance(left, And) else (left,)
+    right_clauses = right.children if isinstance(right, And) else (right,)
+    clauses = [lor(lc, rc) for lc in left_clauses for rc in right_clauses]
+    return land(*clauses)
+
+
+def to_dnf(formula: Formula) -> Formula:
+    """Disjunctive normal form by distribution.
+
+    Used by the baseline decomposition wrapper (Appendix C.2): a GTPQ whose
+    predicates contain OR/NOT decomposes into one conjunctive TPQ per DNF
+    term; the paper notes the term count may be exponential, and it is.
+    """
+    return _distribute_dnf(to_nnf(formula))
+
+
+def _distribute_dnf(formula: Formula) -> Formula:
+    if isinstance(formula, (Const, Var, Not)):
+        return formula
+    if isinstance(formula, Or):
+        return lor(*(_distribute_dnf(c) for c in formula.children))
+    if isinstance(formula, And):
+        children = [_distribute_dnf(c) for c in formula.children]
+        result = children[0]
+        for child in children[1:]:
+            result = _and_of_dnfs(result, child)
+        return result
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _and_of_dnfs(left: Formula, right: Formula) -> Formula:
+    left_terms = left.children if isinstance(left, Or) else (left,)
+    right_terms = right.children if isinstance(right, Or) else (right,)
+    terms = [land(lt, rt) for lt in left_terms for rt in right_terms]
+    return lor(*terms)
+
+
+def dnf_terms(formula: Formula) -> list[dict[str, bool]]:
+    """Enumerate DNF terms as ``{variable: polarity}`` dictionaries.
+
+    Terms containing a variable with both polarities are dropped (they are
+    unsatisfiable).  ``TRUE`` yields one empty term; ``FALSE`` yields none.
+    """
+    dnf = to_dnf(formula)
+    if isinstance(dnf, Const):
+        return [{}] if dnf.value else []
+    terms = dnf.children if isinstance(dnf, Or) else (dnf,)
+    out: list[dict[str, bool]] = []
+    for term in terms:
+        literals = term.children if isinstance(term, And) else (term,)
+        term_map: dict[str, bool] = {}
+        consistent = True
+        for literal in literals:
+            if isinstance(literal, Var):
+                name, polarity = literal.name, True
+            elif isinstance(literal, Not) and isinstance(literal.child, Var):
+                name, polarity = literal.child.name, False
+            else:  # pragma: no cover - DNF guarantees literals
+                raise TypeError(f"not a literal: {literal!r}")
+            if term_map.get(name, polarity) != polarity:
+                consistent = False
+                break
+            term_map[name] = polarity
+        if consistent:
+            out.append(term_map)
+    return out
+
+
+def cnf_clauses(formula: Formula) -> list[list[tuple[str, bool]]]:
+    """CNF clause list as ``[(variable, polarity), ...]`` per clause.
+
+    An empty clause list means the formula is valid (no constraints);
+    a clause list containing an empty clause means it is unsatisfiable.
+    """
+    cnf = to_cnf(formula)
+    if isinstance(cnf, Const):
+        return [] if cnf.value else [[]]
+    clauses = cnf.children if isinstance(cnf, And) else (cnf,)
+    out: list[list[tuple[str, bool]]] = []
+    for clause in clauses:
+        literals = clause.children if isinstance(clause, Or) else (clause,)
+        lits: list[tuple[str, bool]] = []
+        for literal in literals:
+            if isinstance(literal, Var):
+                lits.append((literal.name, True))
+            elif isinstance(literal, Not) and isinstance(literal.child, Var):
+                lits.append((literal.child.name, False))
+            else:  # pragma: no cover - CNF guarantees literals
+                raise TypeError(f"not a literal: {literal!r}")
+        out.append(lits)
+    return out

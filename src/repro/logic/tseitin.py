@@ -1,0 +1,118 @@
+"""Tseitin transformation: linear-size equisatisfiable CNF.
+
+The distribution-based CNF of :mod:`repro.logic.transform` can explode
+exponentially — the very cost the paper charges to AND/OR- and B-twig
+normalization.  The SAT solver therefore encodes via Tseitin: one fresh
+variable per compound sub-formula, three-or-fewer clauses per gate, size
+linear in the formula.
+"""
+
+from __future__ import annotations
+
+from .formula import And, Const, Formula, Not, Or, Var
+
+#: A literal is (variable_index, polarity); clauses are literal lists.
+Literal = tuple[int, bool]
+Clause = list[Literal]
+
+
+class CnfInstance:
+    """A CNF instance over integer variables, ready for DPLL.
+
+    Attributes:
+        num_vars: total number of variables (original + auxiliary).
+        clauses: list of clauses.
+        var_ids: mapping from original variable names to variable indices.
+    """
+
+    def __init__(self, num_vars: int, clauses: list[Clause], var_ids: dict[str, int]):
+        self.num_vars = num_vars
+        self.clauses = clauses
+        self.var_ids = var_ids
+
+    def decode(self, model: dict[int, bool]) -> dict[str, bool]:
+        """Project a solver model back onto the original variables."""
+        return {name: model.get(index, False) for name, index in self.var_ids.items()}
+
+
+def tseitin_cnf(formula: Formula) -> CnfInstance:
+    """Encode ``formula`` as an equisatisfiable CNF instance.
+
+    The returned instance is satisfiable iff ``formula`` is, and every model
+    restricted to the original variables satisfies ``formula``.
+    """
+    encoder = _Encoder()
+    root = encoder.encode(formula)
+    if isinstance(root, bool):
+        clauses = [] if root else [[]]
+        return CnfInstance(encoder.next_id, clauses, encoder.var_ids)
+    encoder.clauses.append([root])
+    return CnfInstance(encoder.next_id, encoder.clauses, encoder.var_ids)
+
+
+class _Encoder:
+    def __init__(self):
+        self.next_id = 0
+        self.var_ids: dict[str, int] = {}
+        self.clauses: list[Clause] = []
+        self._cache: dict[Formula, Literal | bool] = {}
+
+    def _fresh(self) -> int:
+        index = self.next_id
+        self.next_id += 1
+        return index
+
+    def encode(self, formula: Formula) -> Literal | bool:
+        """Return the literal standing for ``formula`` (or a constant)."""
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        result = self._encode(formula)
+        self._cache[formula] = result
+        return result
+
+    def _encode(self, formula: Formula) -> Literal | bool:
+        if isinstance(formula, Const):
+            return formula.value
+        if isinstance(formula, Var):
+            if formula.name not in self.var_ids:
+                self.var_ids[formula.name] = self._fresh()
+            return (self.var_ids[formula.name], True)
+        if isinstance(formula, Not):
+            inner = self.encode(formula.child)
+            if isinstance(inner, bool):
+                return not inner
+            index, polarity = inner
+            return (index, not polarity)
+        if isinstance(formula, (And, Or)):
+            is_and = isinstance(formula, And)
+            parts: list[Literal] = []
+            for child in formula.children:
+                encoded = self.encode(child)
+                if isinstance(encoded, bool):
+                    if encoded != is_and:
+                        # FALSE inside AND / TRUE inside OR short-circuits.
+                        return not is_and
+                    continue  # neutral operand
+                parts.append(encoded)
+            if not parts:
+                return is_and
+            if len(parts) == 1:
+                return parts[0]
+            gate = self._fresh()
+            if is_and:
+                # gate -> part_i ; (all parts) -> gate
+                for index, polarity in parts:
+                    self.clauses.append([(gate, False), (index, polarity)])
+                self.clauses.append(
+                    [(index, not polarity) for index, polarity in parts] + [(gate, True)]
+                )
+            else:
+                # part_i -> gate ; gate -> (some part)
+                for index, polarity in parts:
+                    self.clauses.append([(index, not polarity), (gate, True)])
+                self.clauses.append(
+                    [(gate, False)] + [(index, polarity) for index, polarity in parts]
+                )
+            return (gate, True)
+        raise TypeError(f"not a formula: {formula!r}")

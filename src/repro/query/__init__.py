@@ -1,0 +1,27 @@
+"""GTPQ query model (S4 in DESIGN.md)."""
+
+from .attribute import AttributePredicate
+from .builder import QueryBuilder
+from .gtpq import GTPQ, EdgeType, QueryNode, QueryValidationError
+from .naive import ResultSet, candidate_nodes, downward_match_sets, evaluate_naive
+from .serialize import query_from_dict, query_from_json, query_to_dict, query_to_json
+from .xpath import XPathSyntaxError, parse_xpath_query
+
+__all__ = [
+    "AttributePredicate",
+    "EdgeType",
+    "GTPQ",
+    "QueryBuilder",
+    "QueryNode",
+    "XPathSyntaxError",
+    "QueryValidationError",
+    "ResultSet",
+    "candidate_nodes",
+    "downward_match_sets",
+    "evaluate_naive",
+    "parse_xpath_query",
+    "query_from_dict",
+    "query_from_json",
+    "query_to_dict",
+    "query_to_json",
+]

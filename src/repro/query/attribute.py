@@ -1,0 +1,217 @@
+"""Attribute predicates: conjunctions of ``A op a`` atoms (paper Sec. 2).
+
+``fa(u)`` is a conjunction of comparisons between an attribute name and a
+constant, with ``op ∈ {<, <=, =, !=, >, >=}``.  Besides evaluation against
+a node's attribute tuple, this module implements the two static checks the
+analysis algorithms need:
+
+* :meth:`AttributePredicate.is_satisfiable` — per-attribute interval
+  consistency (Theorem 2's proof assumes this linear-time check);
+* :meth:`AttributePredicate.subsumes` — the paper's syntactic condition
+  ``u2 ⊢ u1`` used by node similarity (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+_OPS = ("<", "<=", "=", "!=", ">", ">=")
+
+
+def _compare(left: Any, op: str, right: Any) -> bool:
+    try:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False  # incomparable types never satisfy a comparison
+    raise ValueError(f"unknown operator {op!r}")
+
+
+class AttributePredicate:
+    """An immutable conjunction of ``(attribute, op, constant)`` atoms.
+
+    The empty predicate (no atoms) matches every node — useful for
+    wildcard query nodes like the starred ``*`` nodes of the paper's Fig. 1.
+    """
+
+    __slots__ = ("atoms",)
+
+    def __init__(self, atoms: Iterable[tuple[str, str, Any]] = ()):
+        normalized = []
+        for attribute, op, constant in atoms:
+            if op == "==":
+                op = "="
+            if op not in _OPS:
+                raise ValueError(f"unknown operator {op!r}; expected one of {_OPS}")
+            normalized.append((attribute, op, constant))
+        object.__setattr__(self, "atoms", tuple(normalized))
+
+    def __setattr__(self, *args):  # pragma: no cover - immutability guard
+        raise AttributeError("AttributePredicate is immutable")
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def label(cls, value: Any) -> "AttributePredicate":
+        """Predicate matching nodes whose ``label`` equals ``value``."""
+        return cls([("label", "=", value)])
+
+    @classmethod
+    def tag_rank(cls, paper_label: str) -> "AttributePredicate":
+        """The paper's figure convention: ``"C2"`` matches ``c2, c3, ...``.
+
+        A data label ``x_i`` matches a query label ``Y_j`` iff ``x == y``
+        and ``i >= j`` (Example 3).
+        """
+        head = paper_label.rstrip("0123456789")
+        rank = int(paper_label[len(head):])
+        return cls([("tag", "=", head.lower()), ("rank", ">=", rank)])
+
+    @classmethod
+    def wildcard(cls) -> "AttributePredicate":
+        """The always-true predicate (a ``*`` query node)."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def matches(self, attrs: Mapping[str, Any]) -> bool:
+        """Does a node with attribute tuple ``attrs`` satisfy ``fa``?
+
+        Per the paper's semantics, every named attribute must be present on
+        the node with a value satisfying the comparison.
+        """
+        for attribute, op, constant in self.atoms:
+            if attribute not in attrs:
+                return False
+            if not _compare(attrs[attribute], op, constant):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+    def is_satisfiable(self) -> bool:
+        """Can *some* attribute tuple satisfy the conjunction?
+
+        Per-attribute interval reasoning; numeric and string domains are
+        treated as dense (documented simplification — query constants in
+        all paper workloads are labels or years, where this is exact).
+        """
+        by_attribute: dict[str, list[tuple[str, Any]]] = {}
+        for attribute, op, constant in self.atoms:
+            by_attribute.setdefault(attribute, []).append((op, constant))
+        return all(_atoms_satisfiable(atom_list) for atom_list in by_attribute.values())
+
+    def subsumes(self, other: "AttributePredicate") -> bool:
+        """The paper's ``self ⊢ other`` check (self is the more specific).
+
+        For each atom ``A op a1`` in ``other`` there must be an atom
+        ``A op a2`` in ``self`` with the same operator such that (a) for
+        ``<=, <``: ``a2 <= a1``; (b) for ``>=, >``: ``a2 >= a1``; (c) for
+        ``=, !=``: ``a1 = a2``.  Every tuple matching ``self`` then matches
+        ``other``.
+        """
+        for attribute, op, constant in other.atoms:
+            if not any(
+                own_attribute == attribute
+                and own_op == op
+                and _subsumption_compatible(op, own_constant, constant)
+                for own_attribute, own_op, own_constant in self.atoms
+            ):
+                return False
+        return True
+
+    def conjoin(self, other: "AttributePredicate") -> "AttributePredicate":
+        """The conjunction of two predicates."""
+        return AttributePredicate(self.atoms + other.atoms)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return isinstance(other, AttributePredicate) and set(self.atoms) == set(other.atoms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.atoms))
+
+    def __repr__(self) -> str:
+        if not self.atoms:
+            return "AttributePredicate(*)"
+        inner = " & ".join(f"{a} {op} {c!r}" for a, op, c in self.atoms)
+        return f"AttributePredicate({inner})"
+
+
+def _subsumption_compatible(op: str, specific: Any, general: Any) -> bool:
+    try:
+        if op in ("<", "<="):
+            return specific <= general
+        if op in (">", ">="):
+            return specific >= general
+        return specific == general  # =, !=
+    except TypeError:
+        return False
+
+
+def _atoms_satisfiable(atoms: list[tuple[str, Any]]) -> bool:
+    """Interval consistency of one attribute's constraints."""
+    pinned: list[Any] = [c for op, c in atoms if op == "="]
+    if pinned:
+        value = pinned[0]
+        if any(value != other for other in pinned[1:]):
+            return False
+        return all(_compare(value, op, c) for op, c in atoms if op != "=")
+
+    lower: Any = None
+    lower_strict = False
+    upper: Any = None
+    upper_strict = False
+    excluded: list[Any] = []
+    for op, constant in atoms:
+        if op in (">", ">="):
+            strict = op == ">"
+            try:
+                replace = lower is None or constant > lower or (
+                    constant == lower and strict and not lower_strict
+                )
+            except TypeError:
+                return False
+            if replace:
+                lower, lower_strict = constant, strict
+        elif op in ("<", "<="):
+            strict = op == "<"
+            try:
+                replace = upper is None or constant < upper or (
+                    constant == upper and strict and not upper_strict
+                )
+            except TypeError:
+                return False
+            if replace:
+                upper, upper_strict = constant, strict
+        elif op == "!=":
+            excluded.append(constant)
+    if lower is not None and upper is not None:
+        try:
+            if lower > upper:
+                return False
+            if lower == upper:
+                if lower_strict or upper_strict:
+                    return False
+                # Interval is the single point `lower`.
+                return all(lower != bad for bad in excluded)
+        except TypeError:
+            return False
+    # Dense-domain assumption: a non-degenerate interval (or half-line)
+    # always contains a point avoiding finitely many exclusions.
+    return True

@@ -1,0 +1,163 @@
+"""Fluent construction of GTPQs.
+
+Example — the paper's Fig. 2(b) query::
+
+    query = (
+        QueryBuilder()
+        .backbone("u1", paper_label="A1")
+        .backbone("u2", parent="u1", paper_label="C1")
+        .backbone("u3", parent="u1", paper_label="C1")
+        .backbone("u4", parent="u3", paper_label="D1")
+        .predicate("u5", parent="u2", paper_label="E2")
+        .predicate("u6", parent="u3", paper_label="G1")
+        .predicate("u7", parent="u3", paper_label="B1")
+        .predicate("u8", parent="u3", paper_label="D1")
+        .predicate("u9", parent="u7", paper_label="E1")
+        .predicate("u10", parent="u7", paper_label="E1")
+        .structural("u2", "u5")
+        .structural("u3", "!u6 | (u7 & u8)")
+        .structural("u7", "u9 | u10")
+        .outputs("u2", "u4")
+        .build()
+    )
+
+All edges default to ancestor–descendant; pass ``edge="pc"`` (or ``"/"``)
+for parent–child.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..logic import Formula, parse_formula
+from .attribute import AttributePredicate
+from .gtpq import GTPQ, EdgeType, QueryNode, QueryValidationError
+
+
+class QueryBuilder:
+    """Incremental GTPQ construction with validation on :meth:`build`."""
+
+    def __init__(self):
+        self._nodes: dict[str, QueryNode] = {}
+        self._root: str | None = None
+        self._parent: dict[str, str] = {}
+        self._children: dict[str, list[str]] = {}
+        self._edge_types: dict[str, EdgeType] = {}
+        self._structural: dict[str, Formula] = {}
+        self._outputs: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _add(
+        self,
+        node_id: str,
+        parent: str | None,
+        edge: EdgeType | str,
+        predicate: AttributePredicate | None,
+        label: Any,
+        paper_label: str | None,
+        is_backbone: bool,
+    ) -> "QueryBuilder":
+        if node_id in self._nodes:
+            raise QueryValidationError(f"duplicate query node id {node_id!r}")
+        if predicate is None:
+            if paper_label is not None:
+                predicate = AttributePredicate.tag_rank(paper_label)
+            elif label is not None:
+                predicate = AttributePredicate.label(label)
+            else:
+                predicate = AttributePredicate.wildcard()
+        self._nodes[node_id] = QueryNode(node_id, predicate, is_backbone)
+        self._children[node_id] = []
+        if parent is None:
+            if self._root is not None:
+                raise QueryValidationError(
+                    f"second root {node_id!r}; pass parent= for non-root nodes"
+                )
+            self._root = node_id
+        else:
+            if parent not in self._nodes:
+                raise QueryValidationError(
+                    f"parent {parent!r} of {node_id!r} not yet added"
+                )
+            self._parent[node_id] = parent
+            self._children[parent].append(node_id)
+            self._edge_types[node_id] = EdgeType.parse(edge)
+        return self
+
+    def backbone(
+        self,
+        node_id: str,
+        *,
+        parent: str | None = None,
+        edge: EdgeType | str = EdgeType.DESCENDANT,
+        predicate: AttributePredicate | None = None,
+        label: Any = None,
+        paper_label: str | None = None,
+    ) -> "QueryBuilder":
+        """Add a backbone node.  The first node added becomes the root."""
+        return self._add(node_id, parent, edge, predicate, label, paper_label, True)
+
+    def predicate(
+        self,
+        node_id: str,
+        *,
+        parent: str | None = None,
+        edge: EdgeType | str = EdgeType.DESCENDANT,
+        predicate: AttributePredicate | None = None,
+        label: Any = None,
+        paper_label: str | None = None,
+    ) -> "QueryBuilder":
+        """Add a predicate (filter) node."""
+        if parent is None:
+            raise QueryValidationError("a predicate node cannot be the root")
+        return self._add(node_id, parent, edge, predicate, label, paper_label, False)
+
+    def structural(self, node_id: str, formula: Formula | str) -> "QueryBuilder":
+        """Set ``fs(node_id)``; strings are parsed with the formula parser."""
+        if node_id not in self._nodes:
+            raise QueryValidationError(f"unknown node {node_id!r}")
+        if isinstance(formula, str):
+            formula = parse_formula(formula)
+        self._structural[node_id] = formula
+        return self
+
+    def outputs(self, *node_ids: str) -> "QueryBuilder":
+        """Declare the output nodes (result-tuple column order)."""
+        self._outputs = list(node_ids)
+        return self
+
+    def build(self) -> GTPQ:
+        """Validate and produce the immutable :class:`GTPQ`.
+
+        When no structural predicate was given for a node with predicate
+        children, those children are conjoined (the conventional TPQ
+        reading).  When no outputs were declared, all backbone nodes are
+        outputs (the "traditional TPQ" mode of the paper's Section 5).
+        """
+        if self._root is None:
+            raise QueryValidationError("query has no nodes")
+        from ..logic import Var, land
+
+        structural = dict(self._structural)
+        for node_id, child_ids in self._children.items():
+            if node_id in structural:
+                continue
+            predicate_children = [
+                child_id
+                for child_id in child_ids
+                if not self._nodes[child_id].is_backbone
+            ]
+            if predicate_children:
+                structural[node_id] = land(*(Var(c) for c in predicate_children))
+        outputs = self._outputs or [
+            node_id for node_id, node in self._nodes.items() if node.is_backbone
+        ]
+        return GTPQ(
+            root=self._root,
+            nodes=dict(self._nodes),
+            parent=dict(self._parent),
+            children=self._children,
+            edge_types=dict(self._edge_types),
+            structural=structural,
+            outputs=outputs,
+        )

@@ -1,0 +1,320 @@
+"""The generalized tree pattern query (GTPQ) model — paper Section 2.
+
+``Q = (Vb, Vp, Vo, Eq, fa, fe, fs)``:
+
+* backbone nodes ``Vb`` and predicate nodes ``Vp`` form a rooted tree;
+* each edge is parent–child (PC) or ancestor–descendant (AD);
+* each node carries an attribute predicate ``fa``;
+* each internal node carries a structural predicate ``fs`` — a
+  propositional formula over variables named after its *predicate*
+  children (backbone children are implicitly conjoined via ``fext``);
+* output nodes ``Vo ⊆ Vb``.
+
+Well-formedness (enforced by :meth:`GTPQ.validate`):
+
+* the node/edge structure is a tree rooted at a backbone node;
+* a backbone node's parent is backbone (paper constraint (3));
+* ``fs(u)`` mentions only predicate children of ``u``;
+* ``Vo`` is a nonempty subset of ``Vb``.
+
+The restriction that negation/disjunction never applies to backbone
+variables is structural here: backbone children are simply not legal
+variables of ``fs``, which is exactly the paper's guarantee that every
+backbone node has an image in every match.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Iterator
+
+from ..logic import TRUE, Formula, Var, land
+from .attribute import AttributePredicate
+
+
+class EdgeType(Enum):
+    """The two structural relationships of tree pattern queries."""
+
+    CHILD = "pc"        #: parent-child: one data edge
+    DESCENDANT = "ad"   #: ancestor-descendant: nonempty data path
+
+    @classmethod
+    def parse(cls, value: "EdgeType | str") -> "EdgeType":
+        if isinstance(value, EdgeType):
+            return value
+        lowered = value.lower()
+        if lowered in ("pc", "child", "/"):
+            return cls.CHILD
+        if lowered in ("ad", "descendant", "//"):
+            return cls.DESCENDANT
+        raise ValueError(f"unknown edge type {value!r}")
+
+
+class QueryNode:
+    """One node of a GTPQ."""
+
+    __slots__ = ("id", "predicate", "is_backbone")
+
+    def __init__(self, node_id: str, predicate: AttributePredicate, is_backbone: bool):
+        self.id = node_id
+        self.predicate = predicate
+        self.is_backbone = is_backbone
+
+    def __repr__(self) -> str:
+        kind = "backbone" if self.is_backbone else "predicate"
+        return f"QueryNode({self.id!r}, {kind})"
+
+
+class QueryValidationError(ValueError):
+    """Raised when a GTPQ violates the well-formedness rules."""
+
+
+class GTPQ:
+    """A generalized tree pattern query.
+
+    Instances are built through :class:`repro.query.builder.QueryBuilder`
+    (recommended) or directly from components.  After construction the
+    structure is fixed; the analysis algorithms produce *new* queries
+    rather than mutating existing ones.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        nodes: dict[str, QueryNode],
+        parent: dict[str, str],
+        children: dict[str, list[str]],
+        edge_types: dict[str, EdgeType],
+        structural: dict[str, Formula],
+        outputs: list[str],
+    ):
+        """Args:
+            root: id of the root node.
+            nodes: all query nodes by id.
+            parent: parent id of every non-root node.
+            children: ordered child list per node (may be empty).
+            edge_types: per non-root node, the type of its incoming edge.
+            structural: ``fs`` per node; missing entries default to TRUE.
+            outputs: ordered output node ids (result-tuple column order).
+        """
+        self.root = root
+        self.nodes = nodes
+        self.parent = parent
+        self.children = {node_id: list(children.get(node_id, [])) for node_id in nodes}
+        self.edge_types = edge_types
+        self.structural = {
+            node_id: structural.get(node_id, TRUE) for node_id in nodes
+        }
+        self.outputs = list(outputs)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if self.root not in self.nodes:
+            raise QueryValidationError(f"root {self.root!r} is not a query node")
+        if not self.nodes[self.root].is_backbone:
+            raise QueryValidationError("the root must be a backbone node")
+        if self.root in self.parent:
+            raise QueryValidationError("the root cannot have a parent")
+        for node_id in self.nodes:
+            if node_id != self.root and node_id not in self.parent:
+                raise QueryValidationError(f"node {node_id!r} is disconnected")
+        # Tree shape: walking parents from any node must end at the root.
+        for node_id in self.nodes:
+            seen = {node_id}
+            current = node_id
+            while current != self.root:
+                current = self.parent.get(current)
+                if current is None or current not in self.nodes:
+                    raise QueryValidationError(
+                        f"node {node_id!r} is not connected to the root"
+                    )
+                if current in seen:
+                    raise QueryValidationError("query edges form a cycle")
+                seen.add(current)
+        for node_id, child_ids in self.children.items():
+            for child_id in child_ids:
+                if self.parent.get(child_id) != node_id:
+                    raise QueryValidationError(
+                        f"child list of {node_id!r} disagrees with parent map"
+                    )
+        for node_id in self.parent:
+            if node_id not in self.edge_types:
+                raise QueryValidationError(f"edge into {node_id!r} has no type")
+        # Paper constraint (3): backbone nodes hang off backbone nodes.
+        for node_id, node in self.nodes.items():
+            if node_id == self.root:
+                continue
+            if node.is_backbone and not self.nodes[self.parent[node_id]].is_backbone:
+                raise QueryValidationError(
+                    f"backbone node {node_id!r} has a predicate parent"
+                )
+        # fs(u) ranges over predicate children only.
+        for node_id, formula in self.structural.items():
+            allowed = {
+                child_id
+                for child_id in self.children[node_id]
+                if not self.nodes[child_id].is_backbone
+            }
+            extra = formula.variables() - allowed
+            if extra:
+                raise QueryValidationError(
+                    f"fs({node_id}) mentions non-predicate-children {sorted(extra)}"
+                )
+        if not self.outputs:
+            raise QueryValidationError("a query must have at least one output node")
+        for node_id in self.outputs:
+            if node_id not in self.nodes:
+                raise QueryValidationError(f"output {node_id!r} is not a query node")
+            if not self.nodes[node_id].is_backbone:
+                raise QueryValidationError(
+                    f"output node {node_id!r} must be a backbone node"
+                )
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``|Q| = |Vq|`` (paper Section 3.3)."""
+        return len(self.nodes)
+
+    def backbone_nodes(self) -> list[str]:
+        return [node_id for node_id, node in self.nodes.items() if node.is_backbone]
+
+    def predicate_nodes(self) -> list[str]:
+        return [node_id for node_id, node in self.nodes.items() if not node.is_backbone]
+
+    def attribute(self, node_id: str) -> AttributePredicate:
+        """``fa(u)``."""
+        return self.nodes[node_id].predicate
+
+    def fs(self, node_id: str) -> Formula:
+        """``fs(u)``, the structural predicate over predicate children."""
+        return self.structural[node_id]
+
+    def fext(self, node_id: str) -> Formula:
+        """``fext(u)``: backbone-children conjunction AND ``fs(u)``."""
+        backbone_vars = [
+            Var(child_id)
+            for child_id in self.children[node_id]
+            if self.nodes[child_id].is_backbone
+        ]
+        return land(*backbone_vars, self.structural[node_id])
+
+    def edge_type(self, node_id: str) -> EdgeType:
+        """Type of the edge *into* ``node_id`` (undefined for the root)."""
+        return self.edge_types[node_id]
+
+    def is_leaf(self, node_id: str) -> bool:
+        return not self.children[node_id]
+
+    def depth_first(self, start: str | None = None) -> Iterator[str]:
+        """Pre-order traversal of (a subtree of) the query."""
+        stack = [start if start is not None else self.root]
+        while stack:
+            node_id = stack.pop()
+            yield node_id
+            stack.extend(reversed(self.children[node_id]))
+
+    def bottom_up(self) -> list[str]:
+        """Nodes ordered leaves-first (children before parents)."""
+        return list(reversed(list(self.depth_first())))
+
+    def subtree_nodes(self, node_id: str) -> list[str]:
+        """All nodes of the subtree rooted at ``node_id`` (pre-order)."""
+        return list(self.depth_first(node_id))
+
+    def ancestors(self, node_id: str) -> list[str]:
+        """Proper ancestors from parent up to the root."""
+        out = []
+        current = node_id
+        while current != self.root:
+            current = self.parent[current]
+            out.append(current)
+        return out
+
+    def path_to_root(self, node_id: str) -> list[str]:
+        """``node_id`` plus its ancestors, ending at the root."""
+        return [node_id] + self.ancestors(node_id)
+
+    # ------------------------------------------------------------------
+    # Classification (paper Section 2)
+    # ------------------------------------------------------------------
+    def is_conjunctive(self) -> bool:
+        """Structural predicates use conjunction only."""
+        from ..logic import And, Const, Var as _Var
+
+        return all(
+            all(isinstance(g, (And, Const, _Var)) for g in formula.walk())
+            for formula in self.structural.values()
+        )
+
+    def is_union_conjunctive(self) -> bool:
+        """Structural predicates are negation-free."""
+        from ..logic import Not
+
+        return all(
+            not any(isinstance(g, Not) for g in formula.walk())
+            for formula in self.structural.values()
+        )
+
+    def has_pc_edges(self) -> bool:
+        return any(edge is EdgeType.CHILD for edge in self.edge_types.values())
+
+    # ------------------------------------------------------------------
+    # Derivation helpers used by analysis/minimization
+    # ------------------------------------------------------------------
+    def copy(
+        self,
+        *,
+        drop: Iterable[str] = (),
+        structural_override: dict[str, Formula] | None = None,
+        outputs_override: list[str] | None = None,
+    ) -> "GTPQ":
+        """A new query with ``drop`` subtrees removed and overrides applied.
+
+        Dropping a node drops its whole subtree.  The caller is responsible
+        for having already substituted the dropped variables out of the
+        remaining structural predicates.
+        """
+        dropped: set[str] = set()
+        for node_id in drop:
+            dropped.update(self.subtree_nodes(node_id))
+        keep = {node_id for node_id in self.nodes if node_id not in dropped}
+        if self.root in dropped:
+            raise QueryValidationError("cannot drop the root subtree")
+        structural = dict(self.structural)
+        if structural_override:
+            structural.update(structural_override)
+        outputs = outputs_override if outputs_override is not None else self.outputs
+        return GTPQ(
+            root=self.root,
+            nodes={node_id: self.nodes[node_id] for node_id in keep},
+            parent={
+                node_id: parent_id
+                for node_id, parent_id in self.parent.items()
+                if node_id in keep
+            },
+            children={
+                node_id: [c for c in self.children[node_id] if c in keep]
+                for node_id in keep
+            },
+            edge_types={
+                node_id: edge
+                for node_id, edge in self.edge_types.items()
+                if node_id in keep
+            },
+            structural={
+                node_id: structural[node_id] for node_id in keep
+            },
+            outputs=[node_id for node_id in outputs if node_id in keep],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GTPQ(root={self.root!r}, nodes={len(self.nodes)}, "
+            f"outputs={self.outputs!r})"
+        )

@@ -1,0 +1,122 @@
+"""Reference (naive) GTPQ evaluator — the semantics oracle.
+
+A direct transcription of the paper's Section 2 semantics with no index
+structures and no pruning: downward matching by memoized recursion over
+full descendant sets, then exhaustive enumeration of backbone matches.
+Exponential in the worst case; used to validate GTEA and every baseline on
+small inputs, and as the "ground truth" in property-based tests.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..graph.digraph import DataGraph
+from ..graph.traversal import descendants
+from ..logic import evaluate
+from .gtpq import GTPQ, EdgeType
+
+#: A query answer: a set of tuples aligned with ``query.outputs``.
+ResultSet = set[tuple[int, ...]]
+
+
+def candidate_nodes(graph: DataGraph, query: GTPQ, node_id: str) -> list[int]:
+    """``mat(u)``: data nodes satisfying the attribute predicate of ``u``.
+
+    Uses the graph's label index when the predicate pins ``label``;
+    otherwise scans all nodes.
+    """
+    predicate = query.attribute(node_id)
+    pinned_label = next(
+        (constant for attribute, op, constant in predicate.atoms
+         if attribute == "label" and op == "="),
+        None,
+    )
+    if pinned_label is not None:
+        pool = graph.nodes_with_label(pinned_label)
+    else:
+        pool = graph.nodes()
+    return [node for node in pool if predicate.matches(graph.attrs(node))]
+
+
+def downward_match_sets(graph: DataGraph, query: GTPQ) -> dict[str, set[int]]:
+    """For every query node ``u``, the set ``{v : v |= u}``.
+
+    Computed bottom-up: a data node downwardly matches ``u`` iff it matches
+    ``fa(u)`` and the valuation of its children variables (derived from PC
+    children / AD strict descendants) satisfies ``fext(u)``.
+    """
+    down: dict[str, set[int]] = {}
+    descendant_cache: dict[int, set[int]] = {}
+
+    def strict_descendants(node: int) -> set[int]:
+        if node not in descendant_cache:
+            descendant_cache[node] = descendants(graph, node)
+        return descendant_cache[node]
+
+    for node_id in query.bottom_up():
+        matches: set[int] = set()
+        child_ids = query.children[node_id]
+        fext = query.fext(node_id)
+        for data_node in candidate_nodes(graph, query, node_id):
+            valuation: dict[str, bool] = {}
+            for child_id in child_ids:
+                if query.edge_type(child_id) is EdgeType.CHILD:
+                    related = graph.successors(data_node)
+                else:
+                    related = strict_descendants(data_node)
+                valuation[child_id] = any(v in down[child_id] for v in related)
+            if evaluate(fext, valuation, default=False):
+                matches.add(data_node)
+        down[node_id] = matches
+    return down
+
+
+def evaluate_naive(query: GTPQ, graph: DataGraph) -> ResultSet:
+    """The answer ``Q(G)`` as a set of output tuples.
+
+    A *match* maps every backbone node to a data node so that each image
+    downwardly matches its query node and every backbone edge is satisfied;
+    the answer projects matches onto the output nodes (Section 2).
+    """
+    down = downward_match_sets(graph, query)
+    backbone_children: dict[str, list[str]] = {
+        node_id: [c for c in query.children[node_id] if query.nodes[c].is_backbone]
+        for node_id in query.nodes
+    }
+    descendant_cache: dict[int, set[int]] = {}
+
+    def strict_descendants(node: int) -> set[int]:
+        if node not in descendant_cache:
+            descendant_cache[node] = descendants(graph, node)
+        return descendant_cache[node]
+
+    def assignments(node_id: str, data_node: int) -> list[dict[str, int]]:
+        """All backbone-subtree matches rooted at ``node_id -> data_node``."""
+        partials: list[dict[str, int]] = [{node_id: data_node}]
+        per_child: list[list[dict[str, int]]] = []
+        for child_id in backbone_children[node_id]:
+            if query.edge_type(child_id) is EdgeType.CHILD:
+                related = graph.successors(data_node)
+            else:
+                related = strict_descendants(data_node)
+            child_results: list[dict[str, int]] = []
+            for candidate in related:
+                if candidate in down[child_id]:
+                    child_results.extend(assignments(child_id, candidate))
+            if not child_results:
+                return []
+            per_child.append(child_results)
+        out: list[dict[str, int]] = []
+        for combination in product(*per_child):
+            merged = dict(partials[0])
+            for piece in combination:
+                merged.update(piece)
+            out.append(merged)
+        return out
+
+    results: ResultSet = set()
+    for root_image in down[query.root]:
+        for match in assignments(query.root, root_image):
+            results.add(tuple(match[node_id] for node_id in query.outputs))
+    return results

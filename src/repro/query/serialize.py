@@ -1,0 +1,65 @@
+"""GTPQ (de)serialization to plain dictionaries / JSON.
+
+Workload files in :mod:`repro.datasets` and the examples use this format;
+formulas round-trip through the text parser.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..logic import parse_formula
+from .attribute import AttributePredicate
+from .builder import QueryBuilder
+from .gtpq import GTPQ
+
+
+def query_to_dict(query: GTPQ) -> dict[str, Any]:
+    """A JSON-safe description of ``query``."""
+    nodes = []
+    for node_id in query.depth_first():
+        node = query.nodes[node_id]
+        entry: dict[str, Any] = {
+            "id": node_id,
+            "kind": "backbone" if node.is_backbone else "predicate",
+            "atoms": [list(atom) for atom in node.predicate.atoms],
+        }
+        if node_id != query.root:
+            entry["parent"] = query.parent[node_id]
+            entry["edge"] = query.edge_type(node_id).value
+        fs = query.fs(node_id)
+        if fs.variables() or fs.is_constant() and not fs.value:  # non-trivial
+            entry["fs"] = str(fs)
+        nodes.append(entry)
+    return {"nodes": nodes, "outputs": list(query.outputs)}
+
+
+def query_from_dict(data: dict[str, Any]) -> GTPQ:
+    """Rebuild a query produced by :func:`query_to_dict`."""
+    builder = QueryBuilder()
+    deferred_fs: list[tuple[str, str]] = []
+    for entry in data["nodes"]:
+        predicate = AttributePredicate(tuple(atom) for atom in entry.get("atoms", []))
+        kwargs: dict[str, Any] = {"predicate": predicate}
+        if "parent" in entry:
+            kwargs["parent"] = entry["parent"]
+            kwargs["edge"] = entry.get("edge", "ad")
+        if entry.get("kind", "backbone") == "backbone":
+            builder.backbone(entry["id"], **kwargs)
+        else:
+            builder.predicate(entry["id"], **kwargs)
+        if "fs" in entry:
+            deferred_fs.append((entry["id"], entry["fs"]))
+    for node_id, text in deferred_fs:
+        builder.structural(node_id, parse_formula(text))
+    builder.outputs(*data["outputs"])
+    return builder.build()
+
+
+def query_to_json(query: GTPQ, **dumps_kwargs) -> str:
+    return json.dumps(query_to_dict(query), **dumps_kwargs)
+
+
+def query_from_json(text: str) -> GTPQ:
+    return query_from_dict(json.loads(text))

@@ -1,0 +1,353 @@
+"""An XPath-like surface syntax for GTPQs.
+
+The paper motivates GTPQs from XQuery/XPath practice, where structural
+predicates appear as bracketed conditions with ``and`` / ``or`` /
+``not()``.  This module compiles a practical subset of that syntax into a
+:class:`~repro.query.gtpq.GTPQ`:
+
+* ``/a`` — parent-child step, ``//a`` — ancestor-descendant step;
+* ``*`` — wildcard node test, any name — label equality;
+* ``[...]`` — structural predicate: a boolean combination (``and``,
+  ``or``, ``not(...)``, parentheses) of *relative paths*, each of which
+  becomes a predicate subtree;
+* ``[@attr op value]`` — attribute comparison atoms, conjoined into the
+  step's attribute predicate (``op`` ∈ ``= != < <= > >=``; values are
+  numbers or quoted strings);
+* the *last* step of the main path is the output node (use
+  :func:`parse_xpath_query` ``outputs="spine"`` for all spine nodes).
+
+Examples::
+
+    parse_xpath_query("//open_auction[bidder and not(seller)]/itemref")
+    parse_xpath_query("//person[.//education or address/city]")
+    parse_xpath_query("//paper[@year >= 2000 and @year <= 2010]")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..logic import Formula, Var, land, lnot, lor
+from .attribute import AttributePredicate
+from .gtpq import GTPQ, EdgeType, QueryNode
+
+
+class XPathSyntaxError(ValueError):
+    """Raised on malformed query expressions."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<dslash>//)|(?P<slash>/)|(?P<lbracket>\[)|(?P<rbracket>\])"
+    r"|(?P<lparen>\()|(?P<rparen>\))|(?P<dot>\.)"
+    r"|(?P<op><=|>=|!=|=|<|>)"
+    r"|(?P<at>@)|(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<string>'[^']*'|\"[^\"]*\")"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_.-]*|\*))"
+)
+
+_KEYWORDS = {"and", "or", "not"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise XPathSyntaxError(f"unexpected input at {remainder[:20]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> tuple[str, str] | None:
+        position = self.index + offset
+        if position < len(self.tokens):
+            return self.tokens[position]
+        return None
+
+    def take(self, kind: str | None = None) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise XPathSyntaxError("unexpected end of expression")
+        if kind is not None and token[0] != kind:
+            raise XPathSyntaxError(f"expected {kind}, found {token[1]!r}")
+        self.index += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+class _Builder:
+    """Accumulates GTPQ components while the expression is parsed."""
+
+    def __init__(self):
+        self.counter = 0
+        self.nodes: dict[str, QueryNode] = {}
+        self.parent: dict[str, str] = {}
+        self.children: dict[str, list[str]] = {}
+        self.edge_types: dict[str, EdgeType] = {}
+        self.structural: dict[str, Formula] = {}
+
+    def new_node(
+        self,
+        label: str,
+        atoms: list[tuple[str, str, Any]],
+        parent: str | None,
+        edge: EdgeType,
+        is_backbone: bool,
+    ) -> str:
+        node_id = f"{label if label != '*' else 'star'}_{self.counter}"
+        self.counter += 1
+        predicate_atoms = list(atoms)
+        if label != "*":
+            predicate_atoms.insert(0, ("label", "=", label))
+        self.nodes[node_id] = QueryNode(
+            node_id, AttributePredicate(predicate_atoms), is_backbone
+        )
+        self.children[node_id] = []
+        if parent is not None:
+            self.parent[node_id] = parent
+            self.children[parent].append(node_id)
+            self.edge_types[node_id] = edge
+        return node_id
+
+
+def parse_xpath_query(text: str, outputs: str = "last") -> GTPQ:
+    """Compile an XPath-like expression into a GTPQ.
+
+    Args:
+        text: the expression (must start with ``/`` or ``//``).
+        outputs: ``"last"`` — only the final spine step is output;
+            ``"spine"`` — every main-path step is output.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise XPathSyntaxError("empty expression")
+    cursor = _Cursor(tokens)
+    builder = _Builder()
+    spine = _parse_path(cursor, builder, parent=None, backbone=True)
+    if not cursor.at_end():
+        raise XPathSyntaxError(
+            f"trailing input at {cursor.peek()[1]!r}"  # type: ignore[index]
+        )
+    if outputs == "last":
+        output_ids = [spine[-1]]
+    elif outputs == "spine":
+        output_ids = list(spine)
+    else:
+        raise ValueError("outputs must be 'last' or 'spine'")
+    return GTPQ(
+        root=spine[0],
+        nodes=builder.nodes,
+        parent=builder.parent,
+        children=builder.children,
+        edge_types=builder.edge_types,
+        structural=builder.structural,
+        outputs=output_ids,
+    )
+
+
+def _parse_path(
+    cursor: _Cursor, builder: _Builder, parent: str | None, backbone: bool
+) -> list[str]:
+    """Parse ``("/"|"//") step ...``; returns the chain of node ids."""
+    chain: list[str] = []
+    while True:
+        token = cursor.peek()
+        if token is None or token[0] not in ("slash", "dslash"):
+            break
+        kind, __ = cursor.take()
+        edge = EdgeType.CHILD if kind == "slash" else EdgeType.DESCENDANT
+        name_token = cursor.take("name")
+        label = name_token[1]
+        if label in _KEYWORDS:
+            raise XPathSyntaxError(f"{label!r} cannot be a node test")
+        atoms, predicate_paths = _parse_brackets(cursor, builder)
+        node_id = builder.new_node(
+            label, atoms,
+            parent=chain[-1] if chain else parent,
+            edge=edge,
+            is_backbone=backbone,
+        )
+        chain.append(node_id)
+        if predicate_paths is not None:
+            builder.structural[node_id] = _attach_predicates(
+                builder, node_id, predicate_paths
+            )
+    if not chain:
+        raise XPathSyntaxError("expected a '/' or '//' step")
+    return chain
+
+
+def _parse_brackets(cursor: _Cursor, builder: _Builder):
+    """Parse zero or more ``[...]`` blocks after a step.
+
+    Returns ``(attribute_atoms, structural_ast_or_None)`` where the
+    structural AST is a nested formula over *deferred* relative paths
+    (parsed later so predicate nodes attach under the right parent).
+    """
+    atoms: list[tuple[str, str, Any]] = []
+    structure = None
+    while cursor.peek() is not None and cursor.peek()[0] == "lbracket":  # type: ignore[index]
+        cursor.take("lbracket")
+        expr = _parse_pred_or(cursor, atoms)
+        cursor.take("rbracket")
+        if expr is not None:
+            structure = expr if structure is None else ("and", structure, expr)
+    return atoms, structure
+
+
+def _parse_pred_or(cursor: _Cursor, atoms):
+    left = _parse_pred_and(cursor, atoms)
+    while cursor.peek() is not None and cursor.peek() == ("name", "or"):
+        cursor.take()
+        right = _parse_pred_and(cursor, atoms)
+        left = _combine("or", left, right)
+    return left
+
+
+def _parse_pred_and(cursor: _Cursor, atoms):
+    left = _parse_pred_atom(cursor, atoms)
+    while cursor.peek() is not None and cursor.peek() == ("name", "and"):
+        cursor.take()
+        right = _parse_pred_atom(cursor, atoms)
+        left = _combine("and", left, right)
+    return left
+
+
+def _combine(op: str, left, right):
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return (op, left, right)
+
+
+def _parse_pred_atom(cursor: _Cursor, atoms):
+    token = cursor.peek()
+    if token is None:
+        raise XPathSyntaxError("unexpected end inside predicate")
+    kind, value = token
+    if kind == "lparen":
+        cursor.take()
+        inner = _parse_pred_or(cursor, atoms)
+        cursor.take("rparen")
+        return inner
+    if kind == "name" and value == "not":
+        cursor.take()
+        cursor.take("lparen")
+        inner = _parse_pred_or(cursor, atoms)
+        cursor.take("rparen")
+        if inner is None:
+            raise XPathSyntaxError("not() needs a structural operand")
+        return ("not", inner)
+    if kind == "at":
+        cursor.take()
+        attr = cursor.take("name")[1]
+        op = cursor.take("op")[1]
+        atoms.append((attr, op, _parse_value(cursor)))
+        return None  # attribute atoms conjoin into fa, not fs
+    if kind == "dot":
+        # ".//name" relative path.
+        cursor.take()
+        return ("path", _collect_relative_path(cursor))
+    if kind in ("slash", "dslash") or kind == "name":
+        return ("path", _collect_relative_path(cursor))
+    raise XPathSyntaxError(f"unexpected token {value!r} in predicate")
+
+
+def _parse_value(cursor: _Cursor) -> Any:
+    kind, value = cursor.take()
+    if kind == "number":
+        return float(value) if "." in value else int(value)
+    if kind == "string":
+        return value[1:-1]
+    if kind == "name":
+        return value
+    raise XPathSyntaxError(f"expected a comparison value, found {value!r}")
+
+
+def _collect_relative_path(cursor: _Cursor) -> list[tuple[EdgeType, str, list, Any]]:
+    """Collect a relative path's steps as raw data (attached later)."""
+    steps = []
+    first = True
+    while True:
+        token = cursor.peek()
+        if token is None:
+            break
+        kind, __ = token
+        if kind in ("slash", "dslash"):
+            cursor.take()
+            edge = EdgeType.CHILD if kind == "slash" else EdgeType.DESCENDANT
+        elif first and kind == "name" and token[1] not in _KEYWORDS:
+            # A bare name step like "bidder" means "/bidder"... XPath's
+            # child axis is the default.
+            edge = EdgeType.CHILD
+        else:
+            break
+        name = cursor.take("name")[1]
+        if name in _KEYWORDS:
+            raise XPathSyntaxError(f"{name!r} cannot be a node test")
+        atoms: list = []
+        # Nested brackets inside relative paths: attribute atoms only.
+        while cursor.peek() is not None and cursor.peek()[0] == "lbracket":  # type: ignore[index]
+            cursor.take("lbracket")
+            inner_token = cursor.peek()
+            if inner_token is None or inner_token[0] != "at":
+                raise XPathSyntaxError(
+                    "nested structural predicates inside relative paths are "
+                    "not supported; lift them with and/or at the step level"
+                )
+            cursor.take("at")
+            attr = cursor.take("name")[1]
+            op = cursor.take("op")[1]
+            atoms.append((attr, op, _parse_value(cursor)))
+            cursor.take("rbracket")
+        steps.append((edge, name, atoms))
+        first = False
+    if not steps:
+        raise XPathSyntaxError("empty relative path in predicate")
+    return steps
+
+
+def _attach_predicates(builder: _Builder, anchor: str, ast) -> Formula:
+    """Materialize the predicate AST: create predicate subtrees, build fs."""
+    if isinstance(ast, tuple) and ast[0] == "path":
+        steps = ast[1]
+        parent = anchor
+        first_id: str | None = None
+        for position, (edge, name, atoms) in enumerate(steps):
+            node_id = builder.new_node(
+                name, atoms, parent=parent, edge=edge, is_backbone=False
+            )
+            if position == 0:
+                first_id = node_id
+            parent = node_id
+        assert first_id is not None
+        return Var(first_id)
+    if isinstance(ast, tuple) and ast[0] == "not":
+        return lnot(_attach_predicates(builder, anchor, ast[1]))
+    if isinstance(ast, tuple) and ast[0] == "and":
+        return land(
+            _attach_predicates(builder, anchor, ast[1]),
+            _attach_predicates(builder, anchor, ast[2]),
+        )
+    if isinstance(ast, tuple) and ast[0] == "or":
+        return lor(
+            _attach_predicates(builder, anchor, ast[1]),
+            _attach_predicates(builder, anchor, ast[2]),
+        )
+    raise XPathSyntaxError(f"malformed predicate structure: {ast!r}")

@@ -1,0 +1,44 @@
+"""Reachability indexes (substrate S3 in DESIGN.md).
+
+The paper's evaluation framework is index-agnostic ("flexible for our
+framework to use other labeling schemes", Section 4.1); the default is
+3-hop, with transitive closure as an oracle, SSPI for TwigStackD and the
+Agrawal tree cover for HGJoin.
+"""
+
+from .base import Dag, DagIndex, GraphReachability, IndexCounters
+from .chain_cover import ChainCover, chain_decomposition
+from .contour import (
+    Contour,
+    contour_reaches_node,
+    merge_pred_lists,
+    merge_succ_lists,
+    node_reaches_contour,
+)
+from .factory import available_indexes, build_reachability
+from .interval import IntervalLabeling
+from .sspi import SSPIIndex
+from .three_hop import ThreeHopIndex
+from .transitive_closure import TransitiveClosureIndex
+from .tree_cover import TreeCoverIndex
+
+__all__ = [
+    "ChainCover",
+    "Contour",
+    "Dag",
+    "DagIndex",
+    "GraphReachability",
+    "IndexCounters",
+    "IntervalLabeling",
+    "SSPIIndex",
+    "ThreeHopIndex",
+    "TransitiveClosureIndex",
+    "TreeCoverIndex",
+    "available_indexes",
+    "build_reachability",
+    "chain_decomposition",
+    "contour_reaches_node",
+    "merge_pred_lists",
+    "merge_succ_lists",
+    "node_reaches_contour",
+]

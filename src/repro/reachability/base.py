@@ -1,0 +1,140 @@
+"""Shared infrastructure for reachability indexes.
+
+All indexes are built over a :class:`Dag` — for cyclic data graphs this is
+the SCC condensation, so *strict* (nonempty-path) reachability between data
+nodes decomposes into:
+
+* same component: reachable iff the component is cyclic;
+* different components: DAG reachability between the components.
+
+Every index counts the elements it touches in an :class:`IndexCounters`
+instance so the I/O experiment (paper Appendix C.1, Fig. 10) can report the
+``#index`` metric without instrumenting call sites.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..graph.condensation import Condensation
+from ..graph.digraph import DataGraph
+from ..graph.traversal import topological_order
+
+
+class IndexCounters:
+    """Mutable counters of index activity (the paper's ``#index`` metric)."""
+
+    __slots__ = ("lookups", "entries_scanned")
+
+    def __init__(self):
+        self.lookups = 0
+        self.entries_scanned = 0
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.entries_scanned = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {"lookups": self.lookups, "entries_scanned": self.entries_scanned}
+
+
+class Dag:
+    """A plain adjacency-list DAG with a fixed topological order."""
+
+    __slots__ = ("succ", "pred", "order")
+
+    def __init__(self, succ: list[list[int]], pred: list[list[int]], order: list[int]):
+        self.succ = succ
+        self.pred = pred
+        self.order = order  # sources first
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.succ)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(targets) for targets in self.succ)
+
+    @classmethod
+    def from_condensation(cls, condensation: Condensation) -> "Dag":
+        count = condensation.num_components
+        succ = [condensation.successors(c) for c in range(count)]
+        pred = [condensation.predecessors(c) for c in range(count)]
+        return cls(succ, pred, condensation.topological_order())
+
+    @classmethod
+    def from_graph(cls, graph: DataGraph) -> "Dag":
+        """Treat an acyclic :class:`DataGraph` directly as a DAG.
+
+        Raises ``ValueError`` when the graph is cyclic — condense first.
+        """
+        order = topological_order(graph)
+        if any(graph.has_edge(node, node) for node in graph.nodes()):
+            raise ValueError("graph has self-loops; condense first")
+        succ = [list(graph.successors(node)) for node in graph.nodes()]
+        pred = [list(graph.predecessors(node)) for node in graph.nodes()]
+        return cls(succ, pred, order)
+
+
+class DagIndex(ABC):
+    """Interface of DAG-level reachability indexes.
+
+    ``reaches(x, y)`` answers *strict* reachability inside the DAG: is there
+    a nonempty path from ``x`` to ``y``?  (``reaches(x, x)`` is always False
+    on a DAG; cyclic self-reachability is handled by the
+    :class:`GraphReachability` wrapper.)
+    """
+
+    #: human-readable index name used by the factory and bench reports.
+    name: str = "abstract"
+
+    def __init__(self, dag: Dag):
+        self.dag = dag
+        self.counters = IndexCounters()
+
+    @abstractmethod
+    def reaches(self, source: int, target: int) -> bool:
+        """Strict DAG reachability."""
+
+    def index_size(self) -> int:
+        """Total number of stored index entries (for size comparisons)."""
+        return 0
+
+
+class GraphReachability:
+    """Strict data-node reachability: condensation + a DAG-level index.
+
+    This is the object the query engine works with.  It exposes both the
+    plain ``reaches`` test and the mapping between data nodes and DAG
+    (component) nodes, which the pruning machinery needs in order to batch
+    candidates by chain.
+    """
+
+    def __init__(self, graph: DataGraph, index_factory):
+        """Args:
+            graph: the data graph.
+            index_factory: callable ``Dag -> DagIndex``.
+        """
+        self.graph = graph
+        self.condensation = Condensation(graph)
+        self.dag = Dag.from_condensation(self.condensation)
+        self.index = index_factory(self.dag)
+
+    @property
+    def counters(self) -> IndexCounters:
+        return self.index.counters
+
+    def component_of(self, data_node: int) -> int:
+        return self.condensation.scc_of[data_node]
+
+    def is_cyclic_component(self, component: int) -> bool:
+        return self.condensation.cyclic[component]
+
+    def reaches(self, source: int, target: int) -> bool:
+        """Is ``target`` a strict descendant of ``source`` (nonempty path)?"""
+        cs = self.condensation.scc_of[source]
+        ct = self.condensation.scc_of[target]
+        if cs == ct:
+            return self.condensation.cyclic[cs]
+        return self.index.reaches(cs, ct)

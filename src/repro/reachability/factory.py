@@ -1,0 +1,40 @@
+"""Index factory: build a reachability service by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graph.digraph import DataGraph
+from .base import Dag, DagIndex, GraphReachability
+from .sspi import SSPIIndex
+from .three_hop import ThreeHopIndex
+from .transitive_closure import TransitiveClosureIndex
+from .tree_cover import TreeCoverIndex
+
+_REGISTRY: dict[str, Callable[[Dag], DagIndex]] = {
+    "3hop": ThreeHopIndex,
+    "tc": TransitiveClosureIndex,
+    "sspi": SSPIIndex,
+    "tree-cover": TreeCoverIndex,
+}
+
+
+def available_indexes() -> list[str]:
+    """Names accepted by :func:`build_reachability`."""
+    return sorted(_REGISTRY)
+
+
+def build_reachability(graph: DataGraph, index: str = "3hop") -> GraphReachability:
+    """Build a :class:`GraphReachability` service over ``graph``.
+
+    Args:
+        graph: the data graph (cyclic graphs are condensed automatically).
+        index: one of :func:`available_indexes` (default the paper's 3-hop).
+    """
+    try:
+        factory = _REGISTRY[index]
+    except KeyError:
+        raise ValueError(
+            f"unknown index {index!r}; available: {', '.join(available_indexes())}"
+        ) from None
+    return GraphReachability(graph, factory)

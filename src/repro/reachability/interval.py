@@ -1,0 +1,74 @@
+"""Interval (region) encoding for tree/forest data.
+
+The classical labeling behind holistic twig joins (Bruno et al. [3]): each
+tree node gets ``(start, end, level)`` from a DFS numbering; ``u`` is an
+ancestor of ``v`` iff ``start(u) < start(v) <= end(u)``, and a parent iff
+additionally ``level(v) = level(u) + 1``.
+
+The paper's Related Work stresses that this scheme (and the stack encoding
+built on it) *only works on trees* — that limitation is why TwigStack and
+Twig2Stack must decompose graph data into trees (Section 5.1).  We use it
+for exactly that purpose in :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from ..graph.digraph import DataGraph
+
+
+class IntervalLabeling:
+    """DFS region encoding of a forest.
+
+    Raises ``ValueError`` when the input graph is not a forest (a node with
+    two parents or a cycle).
+    """
+
+    __slots__ = ("start", "end", "level", "_order")
+
+    def __init__(self, graph: DataGraph):
+        for node in graph.nodes():
+            if graph.in_degree(node) > 1:
+                raise ValueError(
+                    f"node {node} has {graph.in_degree(node)} parents; "
+                    "interval labeling requires a forest"
+                )
+        n = graph.num_nodes
+        self.start = [0] * n
+        self.end = [0] * n
+        self.level = [0] * n
+        counter = 0
+        visited = [False] * n
+        for root in graph.roots():
+            # Iterative DFS; frames are (node, phase) with phase 0 = enter.
+            stack: list[tuple[int, int]] = [(root, 0)]
+            while stack:
+                node, phase = stack.pop()
+                if phase == 0:
+                    if visited[node]:
+                        raise ValueError("graph contains a cycle")
+                    visited[node] = True
+                    counter += 1
+                    self.start[node] = counter
+                    stack.append((node, 1))
+                    for child in reversed(graph.successors(node)):
+                        self.level[child] = self.level[node] + 1
+                        stack.append((child, 0))
+                else:
+                    self.end[node] = counter
+        if not all(visited):
+            raise ValueError("graph contains a cycle unreachable from any root")
+        self._order = sorted(graph.nodes(), key=lambda node: self.start[node])
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """Strict ancestorship (``ancestor != descendant``)."""
+        return self.start[ancestor] < self.start[descendant] <= self.end[ancestor]
+
+    def is_parent(self, parent: int, child: int) -> bool:
+        return self.is_ancestor(parent, child) and self.level[child] == self.level[parent] + 1
+
+    def document_order(self) -> list[int]:
+        """Nodes sorted by ``start`` — the stream order of twig joins."""
+        return self._order
+
+    def sort_by_start(self, nodes: list[int]) -> list[int]:
+        return sorted(nodes, key=lambda node: self.start[node])

@@ -1,0 +1,107 @@
+"""SSPI — the Surrogate & Surplus Predecessor Index (Chen et al., VLDB'05).
+
+TwigStackD's reachability oracle.  A spanning forest of the DAG gets an
+interval encoding; every non-tree edge ``(p, c)`` files ``p`` into the
+*surplus predecessor list* ``SSPI(c)``.  A query ``reach(u, v)`` succeeds
+if ``u`` tree-contains ``v``, or — recursively — if ``u`` reaches some
+surplus predecessor filed on ``v`` or on one of ``v``'s tree ancestors up
+to the surrogate subtree root.
+
+The paper observes (Section 5.2) that this index is cheap and fast on
+shallow tree-like graphs (XMark) but degrades on denser, deeper graphs
+(arXiv) — the recursion fans out through surplus lists.  Reproducing that
+asymmetry is the point of implementing it faithfully rather than backing
+it with transitive closure.
+"""
+
+from __future__ import annotations
+
+from .base import Dag, DagIndex
+
+
+class SSPIIndex(DagIndex):
+    """Spanning-forest intervals plus surplus predecessor lists."""
+
+    name = "sspi"
+
+    def __init__(self, dag: Dag):
+        super().__init__(dag)
+        n = dag.num_nodes
+        self.tree_parent: list[int | None] = [None] * n
+        self.surplus: list[list[int]] = [[] for _ in range(n)]
+        # Spanning forest: the first incoming edge in topological order is
+        # the tree edge, the rest are surplus.
+        placed = [False] * n
+        for node in dag.order:
+            for successor in dag.succ[node]:
+                if not placed[successor]:
+                    placed[successor] = True
+                    self.tree_parent[successor] = node
+                else:
+                    self.surplus[successor].append(node)
+        children: list[list[int]] = [[] for _ in range(n)]
+        roots: list[int] = []
+        for node in range(n):
+            parent = self.tree_parent[node]
+            if parent is None:
+                roots.append(node)
+            else:
+                children[parent].append(node)
+        self.start = [0] * n
+        self.end = [0] * n
+        counter = 0
+        for root in roots:
+            stack: list[tuple[int, int]] = [(root, 0)]
+            while stack:
+                node, phase = stack.pop()
+                if phase == 0:
+                    counter += 1
+                    self.start[node] = counter
+                    stack.append((node, 1))
+                    for child in reversed(children[node]):
+                        stack.append((child, 0))
+                else:
+                    self.end[node] = counter
+
+    def _tree_contains(self, ancestor: int, descendant: int) -> bool:
+        """Inclusive containment in the spanning forest."""
+        return self.start[ancestor] <= self.start[descendant] <= self.end[ancestor]
+
+    def reaches(self, source: int, target: int) -> bool:
+        """Strict DAG reachability through tree containment + surplus lists."""
+        self.counters.lookups += 1
+        if source == target:
+            return False
+        return self._reach_inclusive_via(source, target, set())
+
+    def _reach_inclusive_via(self, source: int, target: int, seen: set[int]) -> bool:
+        """Can ``source`` reach ``target``, allowing source==target only
+        when arrived at through an edge (tracked by the caller)?"""
+        # Tree containment covers strict tree descent; equality is handled
+        # by callers (surplus-edge endpoints were reached via real edges).
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if self._tree_contains(source, node) and node != source:
+                return True
+            # Walk tree ancestors of `node`, consulting surplus lists.
+            current: int | None = node
+            while current is not None:
+                for predecessor in self.surplus[current]:
+                    self.counters.entries_scanned += 1
+                    if predecessor == source:
+                        return True
+                    if predecessor not in seen:
+                        stack.append(predecessor)
+                current = self.tree_parent[current]
+                if current == source:
+                    return True
+                if current is not None and current in seen:
+                    break
+        return False
+
+    def index_size(self) -> int:
+        return sum(len(entries) for entries in self.surplus) + 2 * self.dag.num_nodes

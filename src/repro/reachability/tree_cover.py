@@ -1,0 +1,98 @@
+"""Tree cover index (Agrawal/Borgida/Jagadish, SIGMOD'89).
+
+The "OPT-tree-cover" labeling HGJoin builds on [27, 1]: pick a spanning
+forest, number it by postorder, give every node its subtree interval
+``[low, post]``, then propagate interval *sets* bottom-up along non-tree
+edges so that ``u`` reaches ``v`` iff ``post(v)`` falls inside one of
+``u``'s intervals.
+
+Intervals of a node's set are compressed by merging overlapping/adjacent
+ranges; on tree-like graphs most nodes keep a single interval, on dense
+DAGs the sets grow — the size behaviour the original paper exploits and
+HGJoin inherits.
+"""
+
+from __future__ import annotations
+
+from .base import Dag, DagIndex
+
+
+class TreeCoverIndex(DagIndex):
+    """Postorder interval sets with non-tree propagation."""
+
+    name = "tree-cover"
+
+    def __init__(self, dag: Dag):
+        super().__init__(dag)
+        n = dag.num_nodes
+        tree_parent: list[int | None] = [None] * n
+        placed = [False] * n
+        for node in dag.order:
+            for successor in dag.succ[node]:
+                if not placed[successor]:
+                    placed[successor] = True
+                    tree_parent[successor] = node
+        children: list[list[int]] = [[] for _ in range(n)]
+        roots: list[int] = []
+        for node in range(n):
+            parent = tree_parent[node]
+            if parent is None:
+                roots.append(node)
+            else:
+                children[parent].append(node)
+        # Postorder numbering and inclusive subtree intervals [low, post].
+        self.post = [0] * n
+        self.low = [0] * n
+        counter = 0
+        for root in roots:
+            stack: list[tuple[int, int]] = [(root, 0)]
+            lows: dict[int, int] = {}
+            while stack:
+                node, phase = stack.pop()
+                if phase == 0:
+                    lows[node] = counter + 1
+                    stack.append((node, 1))
+                    for child in reversed(children[node]):
+                        stack.append((child, 0))
+                else:
+                    counter += 1
+                    self.post[node] = counter
+                    self.low[node] = lows[node]
+        # Inclusive interval sets, propagated in reverse topological order:
+        # intervals(v) covers v and everything reachable from v.
+        self.intervals: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        for node in reversed(dag.order):
+            collected: list[tuple[int, int]] = [(self.low[node], self.post[node])]
+            for successor in dag.succ[node]:
+                collected.extend(self.intervals[successor])
+            self.intervals[node] = _merge_intervals(collected)
+
+    def reaches(self, source: int, target: int) -> bool:
+        """Strict reachability: interval membership with ``source != target``."""
+        self.counters.lookups += 1
+        if source == target:
+            return False
+        position = self.post[target]
+        for lower, upper in self.intervals[source]:
+            self.counters.entries_scanned += 1
+            if lower <= position <= upper:
+                return True
+            if lower > position:
+                return False  # intervals sorted ascending
+        return False
+
+    def index_size(self) -> int:
+        return sum(len(entries) for entries in self.intervals)
+
+
+def _merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Sort and coalesce overlapping or adjacent intervals."""
+    intervals.sort()
+    merged: list[tuple[int, int]] = []
+    for lower, upper in intervals:
+        if merged and lower <= merged[-1][1] + 1:
+            if upper > merged[-1][1]:
+                merged[-1] = (merged[-1][0], upper)
+        else:
+            merged.append((lower, upper))
+    return merged

@@ -1,0 +1,133 @@
+"""Tests for query satisfiability (Theorems 1-2)."""
+
+from repro.analysis import is_query_satisfiable, normalize_query
+from repro.query import AttributePredicate, QueryBuilder
+from tests.paper_fixtures import fig2_query, fig4_query
+
+
+class TestPaperExamples:
+    def test_fig2_query_satisfiable(self):
+        # Example 4: "the query is satisfiable. Indeed, we can get a
+        # nonempty answer by posing Q on G".
+        assert is_query_satisfiable(fig2_query())
+
+    def test_example4_q1_unsatisfiable(self):
+        assert not is_query_satisfiable(fig4_query("q1"))
+
+    def test_example4_q2_satisfiable(self):
+        assert is_query_satisfiable(fig4_query("q2"))
+
+
+class TestBasicCases:
+    def test_single_node(self):
+        query = QueryBuilder().backbone("a", label="x").build()
+        assert is_query_satisfiable(query)
+
+    def test_unsat_root_attribute(self):
+        bad = AttributePredicate([("year", ">", 5), ("year", "<", 3)])
+        query = QueryBuilder().backbone("a", predicate=bad).build()
+        assert not is_query_satisfiable(query)
+
+    def test_unsat_predicate_child_under_conjunction(self):
+        bad = AttributePredicate([("year", ">", 5), ("year", "<", 3)])
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", predicate=bad)
+            .structural("a", "p")
+            .build()
+        )
+        # fs(a) = p with p unmatchable: no match possible.
+        assert not is_query_satisfiable(query)
+
+    def test_unsat_child_under_negation_is_fine(self):
+        bad = AttributePredicate([("year", ">", 5), ("year", "<", 3)])
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", predicate=bad)
+            .structural("a", "!p")
+            .build()
+        )
+        # !p with p never matchable: trivially satisfied.
+        assert is_query_satisfiable(query)
+
+    def test_unsat_child_under_disjunction_is_fine(self):
+        bad = AttributePredicate([("year", ">", 5), ("year", "<", 3)])
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", predicate=bad)
+            .predicate("q", parent="a", label="y")
+            .structural("a", "p | q")
+            .build()
+        )
+        assert is_query_satisfiable(query)
+
+    def test_contradictory_structural_predicate(self):
+        from repro.logic import parse_formula
+
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", label="y")
+            .structural("a", parse_formula("p & !p"))
+            .build()
+        )
+        assert not is_query_satisfiable(query)
+
+    def test_union_conjunctive_fast_path(self):
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", label="y")
+            .predicate("q", parent="a", label="z")
+            .structural("a", "p | q")
+            .build()
+        )
+        assert query.is_union_conjunctive()
+        assert is_query_satisfiable(query)
+
+    def test_backbone_with_unsat_attribute(self):
+        bad = AttributePredicate([("year", ">", 5), ("year", "<", 3)])
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .backbone("b", parent="a", predicate=bad)
+            .outputs("a")
+            .build()
+        )
+        # Backbone nodes must have images; an unmatchable one kills Q.
+        assert not is_query_satisfiable(query)
+
+
+class TestNormalization:
+    def test_normalize_removes_non_independent(self):
+        query = fig4_query("q1")
+        normalized = normalize_query(query)
+        assert "u5" not in normalized.nodes
+        assert "u8" not in normalized.nodes
+        # fs(u3) simplifies to u6 after substituting u5 := 0.
+        from repro.logic import Var
+
+        assert normalized.fs("u3") == Var("u6")
+
+    def test_normalize_removes_unsat_attribute_subtrees(self):
+        bad = AttributePredicate([("year", ">", 5), ("year", "<", 3)])
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", predicate=bad)
+            .predicate("inner", parent="p", label="y")
+            .structural("a", "!p")
+            .build()
+        )
+        normalized = normalize_query(query)
+        assert "p" not in normalized.nodes
+        assert "inner" not in normalized.nodes
+        assert normalized.fs("a").is_constant()
+
+    def test_normalize_preserves_fig2(self):
+        # Everything independent & satisfiable: nothing to remove.
+        query = fig2_query()
+        assert normalize_query(query).size == query.size

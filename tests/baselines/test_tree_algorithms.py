@@ -1,0 +1,160 @@
+"""TwigStack / Twig2Stack against the naive oracle on tree data."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import Twig2Stack, TwigStack
+from repro.graph import DataGraph
+from repro.query import QueryBuilder, evaluate_naive
+
+_LABELS = "abc"
+
+
+def random_trees(max_nodes: int = 14):
+    """Random labeled rooted trees: parent[i] < i."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_nodes))
+        graph = DataGraph()
+        for __ in range(n):
+            graph.add_node(label=draw(st.sampled_from(_LABELS)))
+        for node in range(1, n):
+            parent = draw(st.integers(min_value=0, max_value=node - 1))
+            graph.add_edge(parent, node)
+        return graph
+
+    return build()
+
+
+@st.composite
+def conjunctive_tree_queries(draw):
+    builder = QueryBuilder()
+    label = lambda: draw(st.sampled_from(_LABELS))
+    edge = lambda: draw(st.sampled_from(["ad", "ad", "pc"]))
+    builder.backbone("r", label=label())
+    shape = draw(st.sampled_from(["path", "twig", "wide", "deep_twig"]))
+    if shape == "path":
+        builder.backbone("x", parent="r", edge=edge(), label=label())
+        builder.outputs("r", "x")
+    elif shape == "twig":
+        builder.backbone("x", parent="r", edge=edge(), label=label())
+        builder.backbone("y", parent="r", edge=edge(), label=label())
+        builder.outputs("r", "x", "y")
+    elif shape == "wide":
+        builder.backbone("x", parent="r", edge=edge(), label=label())
+        builder.backbone("y", parent="r", edge=edge(), label=label())
+        builder.backbone("z", parent="r", edge=edge(), label=label())
+        builder.outputs("r", "x", "y", "z")
+    else:
+        builder.backbone("x", parent="r", edge=edge(), label=label())
+        builder.backbone("y", parent="x", edge=edge(), label=label())
+        builder.backbone("z", parent="r", edge=edge(), label=label())
+        builder.outputs("r", "x", "y", "z")
+    return builder.build()
+
+
+@pytest.mark.parametrize("algorithm", [TwigStack, Twig2Stack])
+class TestFixedCases:
+    def test_simple_path(self, algorithm):
+        graph = DataGraph.from_edges("abcb", [(0, 1), (1, 2), (2, 3)])
+        query = (
+            QueryBuilder()
+            .backbone("r", label="a")
+            .backbone("x", parent="r", label="b")
+            .outputs("r", "x")
+            .build()
+        )
+        assert algorithm(graph).evaluate(query) == {(0, 1), (0, 3)}
+
+    def test_twig_with_two_branches(self, algorithm):
+        #      a
+        #     / \
+        #    b   c
+        #    |
+        #    c
+        graph = DataGraph.from_edges("abcc", [(0, 1), (0, 2), (1, 3)])
+        query = (
+            QueryBuilder()
+            .backbone("r", label="a")
+            .backbone("x", parent="r", label="b")
+            .backbone("y", parent="r", label="c")
+            .outputs("r", "x", "y")
+            .build()
+        )
+        assert algorithm(graph).evaluate(query) == {(0, 1, 2), (0, 1, 3)}
+
+    def test_pc_edge(self, algorithm):
+        graph = DataGraph.from_edges("abb", [(0, 1), (1, 2)])
+        query = (
+            QueryBuilder()
+            .backbone("r", label="a")
+            .backbone("x", parent="r", edge="pc", label="b")
+            .outputs("x")
+            .build()
+        )
+        assert algorithm(graph).evaluate(query) == {(1,)}
+
+    def test_empty_result(self, algorithm):
+        graph = DataGraph.from_edges("ab", [(0, 1)])
+        query = (
+            QueryBuilder()
+            .backbone("r", label="b")
+            .backbone("x", parent="r", label="a")
+            .outputs("r", "x")
+            .build()
+        )
+        assert algorithm(graph).evaluate(query) == set()
+
+    def test_nested_same_label(self, algorithm):
+        # Stacked ancestors with the same label (stack nesting case).
+        graph = DataGraph.from_edges("aab", [(0, 1), (1, 2)])
+        query = (
+            QueryBuilder()
+            .backbone("r", label="a")
+            .backbone("x", parent="r", label="b")
+            .outputs("r", "x")
+            .build()
+        )
+        assert algorithm(graph).evaluate(query) == {(0, 2), (1, 2)}
+
+    def test_rejects_non_conjunctive(self, algorithm):
+        graph = DataGraph.from_edges("ab", [(0, 1)])
+        query = (
+            QueryBuilder()
+            .backbone("r", label="a")
+            .predicate("p", parent="r", label="b")
+            .structural("r", "!p")
+            .build()
+        )
+        with pytest.raises(ValueError, match="conjunctive"):
+            algorithm(graph).evaluate(query)
+
+    def test_intermediate_tuples_counted(self, algorithm):
+        graph = DataGraph.from_edges("abcb", [(0, 1), (1, 2), (2, 3)])
+        query = (
+            QueryBuilder()
+            .backbone("r", label="a")
+            .backbone("x", parent="r", label="b")
+            .outputs("r", "x")
+            .build()
+        )
+        evaluator = algorithm(graph)
+        __, stats = evaluator.evaluate_with_stats(query)
+        assert stats.intermediate_tuples > 0
+        assert stats.input_nodes > 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_trees(), conjunctive_tree_queries())
+def test_twigstack_matches_oracle(graph, query):
+    expected = evaluate_naive(query, graph)
+    assert TwigStack(graph).evaluate(query) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_trees(), conjunctive_tree_queries())
+def test_twig2stack_matches_oracle(graph, query):
+    expected = evaluate_naive(query, graph)
+    assert Twig2Stack(graph).evaluate(query) == expected

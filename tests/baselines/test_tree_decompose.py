@@ -1,0 +1,131 @@
+"""Unit tests for query/tree decomposition at reference edges."""
+
+import pytest
+
+from repro.baselines import (
+    CrossAwareTreeSolver,
+    TreeDecomposedEvaluator,
+    TwigStack,
+    decompose_at_cross_edges,
+    spanning_forest_edges,
+)
+from repro.datasets import FIG7_CROSS, fig7_query
+from repro.graph import DataGraph
+from repro.query import QueryBuilder
+
+
+class TestDecomposeAtCrossEdges:
+    def test_no_cross_edges_single_subquery(self):
+        query = fig7_query("q1")
+        decomposed = decompose_at_cross_edges(query, set())
+        assert len(decomposed.subqueries) == 1
+        assert decomposed.joins == []
+        assert set(decomposed.subqueries[0].nodes) == set(query.nodes)
+
+    def test_q1_splits_into_two(self):
+        query = fig7_query("q1")
+        decomposed = decompose_at_cross_edges(query, FIG7_CROSS["q1"])
+        assert len(decomposed.subqueries) == 2
+        upper, lower = decomposed.subqueries
+        assert upper.root == "open_auction"
+        assert lower.root == "person"
+        assert "person" not in upper.nodes
+        assert set(lower.nodes) == {"person", "education", "address", "city"}
+        assert decomposed.joins == [(0, "personref", 1)]
+
+    def test_q3_splits_into_four(self):
+        query = fig7_query("q3")
+        decomposed = decompose_at_cross_edges(query, FIG7_CROSS["q3"])
+        assert len(decomposed.subqueries) == 4
+        roots = {sub.root for sub in decomposed.subqueries}
+        assert roots == {"open_auction", "person", "item", "person2"}
+        # One join per cross child, anchored at the right ref nodes.
+        ref_nodes = {join[1] for join in decomposed.joins}
+        assert ref_nodes == {"personref", "item_ref", "seller"}
+
+    def test_outputs_track_subqueries(self):
+        query = fig7_query("q1")
+        decomposed = decompose_at_cross_edges(query, FIG7_CROSS["q1"])
+        sub_of = {}
+        for index, sub in enumerate(decomposed.subqueries):
+            for node_id in sub.nodes:
+                sub_of[node_id] = index
+        for sub_index, node_id in decomposed.outputs:
+            assert sub_of[node_id] == sub_index
+
+    def test_ad_cross_edge_rejected(self):
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .backbone("b", parent="a", edge="ad", label="y")
+            .outputs("a", "b")
+            .build()
+        )
+        with pytest.raises(ValueError, match="parent-child"):
+            decompose_at_cross_edges(query, {"b"})
+
+    def test_unknown_cross_child_rejected(self):
+        query = fig7_query("q1")
+        with pytest.raises(ValueError, match="non-root"):
+            decompose_at_cross_edges(query, {"nope"})
+
+    def test_subqueries_are_conjunctive_all_output(self):
+        query = fig7_query("q2")
+        decomposed = decompose_at_cross_edges(query, FIG7_CROSS["q2"])
+        for sub in decomposed.subqueries:
+            assert sub.is_conjunctive()
+            assert set(sub.outputs) == set(sub.nodes)
+
+
+class TestSpanningForest:
+    def test_tree_input_is_identity(self):
+        graph = DataGraph.from_edges("abc", [(0, 1), (1, 2)])
+        assert spanning_forest_edges(graph) == {(0, 1), (1, 2)}
+
+    def test_extra_edges_dropped(self):
+        graph = DataGraph.from_edges("abc", [(0, 1), (1, 2), (0, 2)])
+        forest = spanning_forest_edges(graph)
+        assert len(forest) == 2
+        # Every node keeps at most one incoming edge.
+        targets = [t for __, t in forest]
+        assert len(targets) == len(set(targets))
+
+
+class TestCrossAwareSolver:
+    def test_adapter_resolves_cross_subset(self):
+        graph = DataGraph()
+        # auction(0) -> ref(1) --cross--> person(2) -> name(3)
+        for label in ["auction", "personref", "person", "name"]:
+            graph.add_node(label=label)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)  # the cross edge
+        graph.add_edge(2, 3)
+        forest = {(0, 1), (2, 3)}
+        runner = TreeDecomposedEvaluator(graph, TwigStack, forest_edges=forest)
+        solver = CrossAwareTreeSolver(runner, {"person"})
+        query = (
+            QueryBuilder()
+            .backbone("auction", label="auction")
+            .backbone("personref", parent="auction", edge="pc", label="personref")
+            .backbone("person", parent="personref", edge="pc", label="person")
+            .backbone("name", parent="person", edge="pc", label="name")
+            .outputs("auction", "person")
+            .build()
+        )
+        rows = solver.full_matches(query)
+        assert rows == [{"auction": 0, "personref": 1, "person": 2, "name": 3}]
+
+    def test_adapter_tolerates_query_without_cross_nodes(self):
+        graph = DataGraph.from_edges(["auction", "bidder"], [(0, 1)])
+        runner = TreeDecomposedEvaluator(
+            graph, TwigStack, forest_edges={(0, 1)}
+        )
+        solver = CrossAwareTreeSolver(runner, {"person"})
+        query = (
+            QueryBuilder()
+            .backbone("auction", label="auction")
+            .backbone("bidder", parent="auction", edge="pc", label="bidder")
+            .outputs("auction")
+            .build()
+        )
+        assert solver.full_matches(query) == [{"auction": 0, "bidder": 1}]

@@ -1,0 +1,86 @@
+"""Tests for the Section 5.2 random query generator."""
+
+import random
+
+from repro.datasets import (
+    generate_arxiv,
+    generate_query_groups,
+    random_embedded_query,
+)
+from repro.engine import GTEA
+from repro.query import evaluate_naive
+
+
+def _graph():
+    return generate_arxiv(num_papers=300, num_authors=60, seed=5).graph
+
+
+class TestRandomEmbeddedQuery:
+    def test_requested_size(self):
+        graph = _graph()
+        rng = random.Random(1)
+        query = random_embedded_query(graph, size=6, rng=rng)
+        assert query is not None
+        assert query.size == 6
+
+    def test_queries_are_meaningful_nonempty(self):
+        # "Meaningful" per the paper: the pattern embeds in the graph.
+        graph = _graph()
+        rng = random.Random(2)
+        engine = GTEA(graph)
+        for __ in range(5):
+            query = random_embedded_query(graph, size=5, rng=rng)
+            assert query is not None
+            assert len(engine.evaluate(query)) > 0
+
+    def test_all_ad_edges_all_outputs(self):
+        graph = _graph()
+        query = random_embedded_query(graph, size=5, rng=random.Random(3))
+        assert query is not None
+        assert not query.has_pc_edges()
+        assert set(query.outputs) == set(query.nodes)
+
+    def test_impossible_size_returns_none(self):
+        from repro.graph import DataGraph
+
+        tiny = DataGraph.from_edges("ab", [(0, 1)])
+        assert random_embedded_query(tiny, size=10, rng=random.Random(1),
+                                     max_attempts=20) is None
+
+    def test_gtea_matches_naive_on_generated(self):
+        graph = _graph()
+        rng = random.Random(4)
+        engine = GTEA(graph)
+        for __ in range(3):
+            query = random_embedded_query(graph, size=5, rng=rng)
+            assert engine.evaluate(query) == evaluate_naive(query, graph)
+
+
+class TestQueryGroups:
+    def test_groups_respect_result_bands(self):
+        graph = _graph()
+        groups = generate_query_groups(
+            graph,
+            sizes=(5,),
+            queries_per_size=3,
+            small_range=(1, 20),
+            large_range=(21, 100000),
+            seed=6,
+            max_attempts=120,
+        )
+        for generated in groups["small"][5]:
+            assert 1 <= generated.result_size <= 20
+        for generated in groups["large"][5]:
+            assert generated.result_size > 20
+
+    def test_deterministic_given_seed(self):
+        graph = _graph()
+        kwargs = dict(
+            sizes=(5,), queries_per_size=2, small_range=(1, 20),
+            large_range=(21, 100000), seed=7, max_attempts=60,
+        )
+        a = generate_query_groups(graph, **kwargs)
+        b = generate_query_groups(graph, **kwargs)
+        sizes_a = [g.result_size for g in a["small"][5]]
+        sizes_b = [g.result_size for g in b["small"][5]]
+        assert sizes_a == sizes_b

@@ -1,0 +1,110 @@
+"""Property tests: GTEA must agree with the naive oracle everywhere.
+
+Random graphs (DAGs and cyclic digraphs) x random GTPQs covering AD/PC
+edges, conjunction, disjunction and negation — the decisive correctness
+check of the whole engine.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.engine import GTEA
+from repro.query import QueryBuilder, evaluate_naive
+from tests.reachability.test_indexes import random_dags, random_digraphs
+
+_LABELS = "abcx"
+
+
+def labeled(graph, data):
+    for node in graph.nodes():
+        graph.attrs(node)["label"] = data.draw(
+            st.sampled_from(_LABELS), label=f"label_{node}"
+        )
+    return graph
+
+
+@st.composite
+def random_queries(draw):
+    """Random small GTPQs over labels a/b/c/x with varied shapes."""
+    builder = QueryBuilder()
+    builder.backbone("r", label=draw(st.sampled_from(_LABELS)))
+    shape = draw(
+        st.sampled_from(
+            ["chain", "star", "negation", "disjunction", "mixed", "deep"]
+        )
+    )
+    edge = lambda: draw(st.sampled_from(["ad", "ad", "pc"]))  # mostly AD
+    label = lambda: draw(st.sampled_from(_LABELS))
+    if shape == "chain":
+        builder.backbone("b1", parent="r", edge=edge(), label=label())
+        builder.backbone("b2", parent="b1", edge=edge(), label=label())
+        builder.outputs("r", "b1", "b2")
+    elif shape == "star":
+        builder.backbone("b1", parent="r", edge=edge(), label=label())
+        builder.predicate("p1", parent="r", edge=edge(), label=label())
+        builder.predicate("p2", parent="r", edge=edge(), label=label())
+        builder.structural("r", "p1 & p2")
+        builder.outputs("r", "b1")
+    elif shape == "negation":
+        builder.predicate("p1", parent="r", edge=edge(), label=label())
+        builder.predicate("p2", parent="r", edge=edge(), label=label())
+        builder.structural("r", draw(st.sampled_from(["!p1", "p1 & !p2", "!p1 & !p2"])))
+        builder.outputs("r")
+    elif shape == "disjunction":
+        builder.predicate("p1", parent="r", edge=edge(), label=label())
+        builder.predicate("p2", parent="r", edge=edge(), label=label())
+        builder.backbone("b1", parent="r", edge=edge(), label=label())
+        builder.structural("r", "p1 | p2")
+        builder.outputs("r", "b1")
+    elif shape == "mixed":
+        builder.predicate("p1", parent="r", edge=edge(), label=label())
+        builder.predicate("p2", parent="r", edge=edge(), label=label())
+        builder.predicate("p3", parent="p1", edge=edge(), label=label())
+        builder.structural("r", draw(
+            st.sampled_from(["(p1 & !p2)", "p1 | !p2", "!(p1 & p2)", "!(p1 | p2)"])
+        ))
+        builder.structural("p1", "p3")
+        builder.outputs("r")
+    else:  # deep
+        builder.backbone("b1", parent="r", edge=edge(), label=label())
+        builder.backbone("b2", parent="b1", edge=edge(), label=label())
+        builder.predicate("p1", parent="b1", edge=edge(), label=label())
+        builder.predicate("p2", parent="p1", edge=edge(), label=label())
+        builder.structural("b1", draw(st.sampled_from(["p1", "!p1"])))
+        builder.structural("p1", "p2")
+        builder.outputs("r", "b2")
+    return builder.build()
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_dags(max_nodes=12), random_queries(), st.data())
+def test_gtea_matches_oracle_on_dags(graph, query, data):
+    labeled(graph, data)
+    expected = evaluate_naive(query, graph)
+    assert GTEA(graph).evaluate(query) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_digraphs(max_nodes=10), random_queries(), st.data())
+def test_gtea_matches_oracle_on_cyclic_graphs(graph, query, data):
+    labeled(graph, data)
+    expected = evaluate_naive(query, graph)
+    assert GTEA(graph).evaluate(query) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dags(max_nodes=12), st.data())
+def test_gtea_pc_only_queries(graph, data):
+    """Pure parent-child patterns (the hard case of Section 4.4)."""
+    labeled(graph, data)
+    query = (
+        QueryBuilder()
+        .backbone("r", label=data.draw(st.sampled_from(_LABELS)))
+        .backbone("c1", parent="r", edge="pc", label=data.draw(st.sampled_from(_LABELS)))
+        .predicate("p1", parent="c1", edge="pc", label=data.draw(st.sampled_from(_LABELS)))
+        .structural("c1", data.draw(st.sampled_from(["p1", "!p1"])))
+        .outputs("r", "c1")
+        .build()
+    )
+    expected = evaluate_naive(query, graph)
+    assert GTEA(graph).evaluate(query) == expected

@@ -1,0 +1,121 @@
+"""Unit tests for the DataGraph substrate."""
+
+import pytest
+
+from repro.graph import DataGraph
+from tests.paper_fixtures import FIG2_EDGES, FIG2_LABELS, fig2_graph, v
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DataGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_add_node_returns_sequential_ids(self):
+        graph = DataGraph()
+        assert graph.add_node() == 0
+        assert graph.add_node() == 1
+
+    def test_add_node_with_label_shorthand(self):
+        graph = DataGraph()
+        node = graph.add_node(label="a1")
+        assert graph.label(node) == "a1"
+        assert graph.attrs(node) == {"label": "a1"}
+
+    def test_add_node_with_attrs(self):
+        graph = DataGraph()
+        node = graph.add_node({"tag": "author", "value": "Alice"})
+        assert graph.attrs(node)["value"] == "Alice"
+        assert graph.label(node) is None
+
+    def test_add_edge(self):
+        graph = DataGraph.from_edges("ab", [(0, 1)])
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+        assert graph.num_edges == 1
+
+    def test_parallel_edges_collapse(self):
+        graph = DataGraph.from_edges("ab", [(0, 1)])
+        assert not graph.add_edge(0, 1)
+        assert graph.num_edges == 1
+
+    def test_self_loop_allowed(self):
+        graph = DataGraph.from_edges("a", [(0, 0)])
+        assert graph.has_edge(0, 0)
+
+    def test_edge_bounds_checked(self):
+        graph = DataGraph.from_edges("a", [])
+        with pytest.raises(IndexError):
+            graph.add_edge(0, 5)
+        with pytest.raises(IndexError):
+            graph.attrs(3)
+
+
+class TestAdjacency:
+    def test_successors_predecessors(self):
+        graph = DataGraph.from_edges("abc", [(0, 1), (0, 2), (1, 2)])
+        assert sorted(graph.successors(0)) == [1, 2]
+        assert sorted(graph.predecessors(2)) == [0, 1]
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(2) == 2
+
+    def test_roots_and_leaves(self):
+        graph = DataGraph.from_edges("abc", [(0, 1), (1, 2)])
+        assert graph.roots() == [0]
+        assert graph.leaves() == [2]
+
+    def test_edges_iteration(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        graph = DataGraph.from_edges("abc", edges)
+        assert sorted(graph.edges()) == sorted(edges)
+
+
+class TestLabelIndex:
+    def test_nodes_with_label(self):
+        graph = DataGraph.from_edges("aba", [])
+        assert graph.nodes_with_label("a") == [0, 2]
+        assert graph.nodes_with_label("b") == [1]
+        assert graph.nodes_with_label("z") == []
+
+    def test_label_index_invalidated_on_add(self):
+        graph = DataGraph()
+        graph.add_node(label="x")
+        assert graph.nodes_with_label("x") == [0]
+        graph.add_node(label="x")
+        assert graph.nodes_with_label("x") == [0, 1]
+
+    def test_distinct_labels(self):
+        graph = DataGraph.from_edges("aabc", [])
+        assert graph.distinct_labels() == {"a", "b", "c"}
+
+
+class TestFig2Fixture:
+    def test_shape(self):
+        graph = fig2_graph()
+        assert graph.num_nodes == 16
+        assert graph.num_edges == len(FIG2_EDGES)
+
+    def test_labels(self):
+        graph = fig2_graph()
+        for paper_id, label in FIG2_LABELS.items():
+            assert graph.label(v(paper_id)) == label
+
+    def test_paper_label_convention_attrs(self):
+        graph = fig2_graph()
+        assert graph.attrs(v(13)) == {"label": "e2", "tag": "e", "rank": 2}
+
+    def test_example3_reachability_facts(self):
+        """Spot-check reach facts the examples rely on (via DFS oracle)."""
+        from repro.graph import reaches
+
+        graph = fig2_graph()
+        assert reaches(graph, v(3), v(13))   # v3 in mat(u2)
+        assert reaches(graph, v(8), v(13))   # v8 in mat(u2)
+        assert not reaches(graph, v(5), v(13))  # v5 pruned from mat(u2)
+        assert not reaches(graph, v(5), v(16))  # v5 |= u3 via !u6
+        assert reaches(graph, v(3), v(6))    # v3 |= u3 via u7
+        assert reaches(graph, v(3), v(11))   # ... and u8
+        assert reaches(graph, v(1), v(3))    # match (v1, v3, v3, v11)
+        assert reaches(graph, v(2), v(4))    # v2 inherits v4's valuation

@@ -1,0 +1,147 @@
+"""Unit tests for the formula AST and smart constructors."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    Not,
+    Or,
+    Var,
+    implies,
+    land,
+    lnot,
+    lor,
+    lxor,
+)
+
+
+class TestSmartConstructors:
+    def test_empty_and_is_true(self):
+        # Matches the paper's convention fs(u) = 1 for leaf query nodes.
+        assert land() is TRUE
+
+    def test_empty_or_is_false(self):
+        assert lor() is FALSE
+
+    def test_and_constant_folding(self):
+        p = Var("p")
+        assert land(p, TRUE) == p
+        assert land(p, FALSE) is FALSE
+        assert land(TRUE, TRUE) is TRUE
+
+    def test_or_constant_folding(self):
+        p = Var("p")
+        assert lor(p, FALSE) == p
+        assert lor(p, TRUE) is TRUE
+        assert lor(FALSE, FALSE) is FALSE
+
+    def test_and_flattens_nested_ands(self):
+        p, q, r = Var("p"), Var("q"), Var("r")
+        nested = land(land(p, q), r)
+        assert isinstance(nested, And)
+        assert nested.children == (p, q, r)
+
+    def test_or_flattens_nested_ors(self):
+        p, q, r = Var("p"), Var("q"), Var("r")
+        nested = lor(lor(p, q), r)
+        assert isinstance(nested, Or)
+        assert nested.children == (p, q, r)
+
+    def test_and_deduplicates(self):
+        p, q = Var("p"), Var("q")
+        assert land(p, q, p) == land(p, q)
+
+    def test_or_deduplicates(self):
+        p, q = Var("p"), Var("q")
+        assert lor(p, q, p, q) == lor(p, q)
+
+    def test_single_operand_unwraps(self):
+        p = Var("p")
+        assert land(p) == p
+        assert lor(p) == p
+
+    def test_complementary_literals_fold(self):
+        p = Var("p")
+        assert land(p, lnot(p)) is FALSE
+        assert lor(p, lnot(p)) is TRUE
+
+    def test_double_negation_folds(self):
+        p = Var("p")
+        assert lnot(lnot(p)) == p
+
+    def test_negated_constants(self):
+        assert lnot(TRUE) is FALSE
+        assert lnot(FALSE) is TRUE
+
+
+class TestOperatorOverloads:
+    def test_and_or_invert(self):
+        p, q = Var("p"), Var("q")
+        assert (p & q) == land(p, q)
+        assert (p | q) == lor(p, q)
+        assert (~p) == lnot(p)
+
+    def test_mixed_expression(self):
+        u6, u7, u8 = Var("u6"), Var("u7"), Var("u8")
+        # fs(u3) from the paper's Fig. 2(b).
+        fig2 = ~u6 | (u7 & u8)
+        assert fig2.variables() == {"u6", "u7", "u8"}
+
+
+class TestStructuralProperties:
+    def test_equality_is_structural(self):
+        assert Var("p") == Var("p")
+        assert Var("p") != Var("q")
+        assert land(Var("p"), Var("q")) == land(Var("p"), Var("q"))
+
+    def test_hashable_and_usable_in_sets(self):
+        formulas = {Var("p"), Var("p"), land(Var("p"), Var("q"))}
+        assert len(formulas) == 2
+
+    def test_variables_collection(self):
+        f = land(Var("a"), lor(Var("b"), lnot(Var("c"))))
+        assert f.variables() == {"a", "b", "c"}
+
+    def test_walk_yields_all_subformulas(self):
+        f = land(Var("a"), lnot(Var("b")))
+        kinds = [type(g).__name__ for g in f.walk()]
+        assert kinds.count("Var") == 2
+        assert kinds.count("Not") == 1
+        assert kinds.count("And") == 1
+
+    def test_size(self):
+        assert Var("a").size() == 1
+        assert land(Var("a"), Var("b")).size() == 3
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Var("p").name = "q"
+        with pytest.raises(AttributeError):
+            land(Var("p"), Var("q")).children = ()
+
+    def test_str_round_trip_shapes(self):
+        f = lor(lnot(Var("u6")), land(Var("u7"), Var("u8")))
+        assert str(f) == "!u6 | (u7 & u8)"
+
+
+class TestDerivedConnectives:
+    def test_xor_truth_table(self):
+        from repro.logic import evaluate
+
+        p, q = Var("p"), Var("q")
+        f = lxor(p, q)
+        assert evaluate(f, {"p": True, "q": False})
+        assert evaluate(f, {"p": False, "q": True})
+        assert not evaluate(f, {"p": True, "q": True})
+        assert not evaluate(f, {"p": False, "q": False})
+
+    def test_implies_truth_table(self):
+        from repro.logic import evaluate
+
+        p, q = Var("p"), Var("q")
+        f = implies(p, q)
+        assert evaluate(f, {"p": False, "q": False})
+        assert evaluate(f, {"p": True, "q": True})
+        assert not evaluate(f, {"p": True, "q": False})

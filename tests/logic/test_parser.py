@@ -1,0 +1,107 @@
+"""Unit tests for the formula text parser."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    FormulaParseError,
+    Var,
+    land,
+    lnot,
+    lor,
+    parse_formula,
+)
+
+
+class TestBasicParsing:
+    def test_single_variable(self):
+        assert parse_formula("p") == Var("p")
+
+    def test_query_node_identifiers(self):
+        assert parse_formula("u2") == Var("u2")
+        assert parse_formula("person_ref") == Var("person_ref")
+
+    def test_constants(self):
+        assert parse_formula("1") is TRUE
+        assert parse_formula("0") is FALSE
+        assert parse_formula("true") is TRUE
+        assert parse_formula("false") is FALSE
+
+    def test_conjunction(self):
+        assert parse_formula("p & q") == land(Var("p"), Var("q"))
+
+    def test_disjunction(self):
+        assert parse_formula("p | q") == lor(Var("p"), Var("q"))
+
+    def test_negation(self):
+        assert parse_formula("!p") == lnot(Var("p"))
+        assert parse_formula("~p") == lnot(Var("p"))
+        assert parse_formula("not p") == lnot(Var("p"))
+
+    def test_word_connectives(self):
+        assert parse_formula("p and q") == land(Var("p"), Var("q"))
+        assert parse_formula("p or q") == lor(Var("p"), Var("q"))
+
+    def test_unicode_connectives(self):
+        assert parse_formula("p ∧ q") == land(Var("p"), Var("q"))
+        assert parse_formula("p ∨ q") == lor(Var("p"), Var("q"))
+        assert parse_formula("¬p") == lnot(Var("p"))
+
+
+class TestPrecedenceAndGrouping:
+    def test_not_binds_tightest(self):
+        assert parse_formula("!p & q") == land(lnot(Var("p")), Var("q"))
+
+    def test_and_binds_tighter_than_or(self):
+        expected = lor(Var("p"), land(Var("q"), Var("r")))
+        assert parse_formula("p | q & r") == expected
+
+    def test_parentheses_override(self):
+        expected = land(lor(Var("p"), Var("q")), Var("r"))
+        assert parse_formula("(p | q) & r") == expected
+
+    def test_paper_fig2_predicate(self):
+        # fs(u3) = !u6 | (u7 & u8)
+        f = parse_formula("!u6 | (u7 & u8)")
+        assert f == lor(lnot(Var("u6")), land(Var("u7"), Var("u8")))
+
+    def test_paper_table4_dis_neg2(self):
+        # fs(open_auction) = (!bidder & seller) | (bidder & !seller)
+        f = parse_formula("(!bidder & seller) | (bidder & !seller)")
+        assert f.variables() == {"bidder", "seller"}
+
+    def test_double_negation(self):
+        assert parse_formula("!!p") == Var("p")
+
+    def test_nested_parentheses(self):
+        f = parse_formula("((p))")
+        assert f == Var("p")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "p &", "& p", "(p", "p)", "p q", "!", "p | | q", "p @ q"],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(FormulaParseError):
+            parse_formula(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p",
+            "!p",
+            "p & q",
+            "p | q",
+            "!u6 | (u7 & u8)",
+            "(a | b) & (c | !d)",
+            "(!bidder & seller & item) | (bidder & !seller & !item)",
+        ],
+    )
+    def test_str_reparses_to_same_formula(self, text):
+        formula = parse_formula(text)
+        assert parse_formula(str(formula)) == formula

@@ -1,0 +1,170 @@
+"""Tests for the DPLL solver and decision procedures, incl. property tests."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    Var,
+    brute_force_satisfiable,
+    brute_force_tautology,
+    entails,
+    equivalent,
+    evaluate,
+    is_satisfiable,
+    is_tautology,
+    land,
+    lnot,
+    lor,
+    satisfying_assignment,
+    tseitin_cnf,
+    xor_satisfiable,
+)
+
+_VARS = ["p", "q", "r", "s", "t"]
+
+
+def formulas(max_leaves: int = 8):
+    """Hypothesis strategy generating random formulas over five variables."""
+    leaf = st.one_of(
+        st.sampled_from([Var(name) for name in _VARS]),
+        st.just(TRUE),
+        st.just(FALSE),
+    )
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            children.map(lnot),
+            st.lists(children, min_size=2, max_size=3).map(lambda cs: land(*cs)),
+            st.lists(children, min_size=2, max_size=3).map(lambda cs: lor(*cs)),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+class TestSatisfiabilityBasics:
+    def test_true_is_satisfiable(self):
+        assert is_satisfiable(TRUE)
+
+    def test_false_is_not_satisfiable(self):
+        assert not is_satisfiable(FALSE)
+
+    def test_variable_is_satisfiable(self):
+        assert is_satisfiable(Var("p"))
+
+    def test_contradiction(self):
+        p = Var("p")
+        # Build via AST directly to dodge the smart-constructor fold.
+        from repro.logic.formula import And, Not
+
+        assert not is_satisfiable(And([p, Not(p)]))
+
+    def test_model_satisfies_formula(self):
+        f = land(lor(Var("p"), Var("q")), lnot(Var("p")))
+        model = satisfying_assignment(f)
+        assert model is not None
+        assert evaluate(f, model, default=False)
+
+    def test_unsat_returns_none(self):
+        f = land(Var("p"), lnot(Var("p")), Var("q"))
+        # smart ctor folds this; use raw AST
+        from repro.logic.formula import And, Not
+
+        raw = And([Var("p"), Not(Var("p")), Var("q")])
+        assert satisfying_assignment(raw) is None
+        assert satisfying_assignment(f) is None
+
+    def test_paper_example4_satisfiable_fcs(self):
+        # fcs(u1) of Fig. 2(b): u5 & u4 & u3 & (!u6 | (u7 & (u9|u10) & u8))
+        fcs = land(
+            Var("u5"),
+            Var("u4"),
+            Var("u3"),
+            lor(lnot(Var("u6")), land(Var("u7"), lor(Var("u9"), Var("u10")), Var("u8"))),
+        )
+        assert is_satisfiable(fcs)
+
+    def test_paper_example4_unsatisfiable_q1(self):
+        # f1cs(u1) = f2cs(u1) & (u6 -> (u2 & u4)) with fs(u1) = !(u2 & u4):
+        # Q1 of Fig. 4 is unsatisfiable.
+        f2cs = land(
+            lnot(land(Var("u2"), Var("u4"))),
+            Var("u3"),
+            lor(
+                land(Var("u5"), Var("u6"), Var("u7")),
+                land(lnot(Var("u5")), Var("u6"), Var("u7")),
+            ),
+        )
+        f1cs = land(f2cs, lor(lnot(Var("u6")), land(Var("u2"), Var("u4"))))
+        assert is_satisfiable(f2cs)
+        assert not is_satisfiable(f1cs)
+
+
+class TestTautologyAndEntailment:
+    def test_excluded_middle(self):
+        from repro.logic.formula import Not, Or
+
+        p = Var("p")
+        assert is_tautology(Or([p, Not(p)]))
+
+    def test_variable_is_not_tautology(self):
+        assert not is_tautology(Var("p"))
+
+    def test_entailment(self):
+        p, q = Var("p"), Var("q")
+        assert entails(land(p, q), p)
+        assert not entails(p, land(p, q))
+
+    def test_equivalence(self):
+        p, q = Var("p"), Var("q")
+        assert equivalent(land(p, q), land(q, p))
+        assert not equivalent(land(p, q), lor(p, q))
+
+    def test_xor_satisfiable_detects_difference(self):
+        p, q = Var("p"), Var("q")
+        assert xor_satisfiable(p, q)
+        assert not xor_satisfiable(land(p, q), land(q, p))
+
+
+class TestTseitin:
+    def test_variable_count_linear(self):
+        # Tseitin must not explode: CNF distribution of this formula is
+        # exponential, the Tseitin instance stays linear.
+        terms = [land(Var(f"a{i}"), Var(f"b{i}")) for i in range(12)]
+        f = lor(*terms)
+        instance = tseitin_cnf(f)
+        assert instance.num_vars <= 2 * 12 + 12 + 1
+        assert len(instance.clauses) <= 4 * 12 + 14
+
+    def test_constant_instances(self):
+        assert tseitin_cnf(TRUE).clauses == []
+        assert tseitin_cnf(FALSE).clauses == [[]]
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas())
+def test_dpll_agrees_with_brute_force_sat(formula):
+    assert is_satisfiable(formula) == brute_force_satisfiable(formula)
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas())
+def test_dpll_agrees_with_brute_force_tautology(formula):
+    assert is_tautology(formula) == brute_force_tautology(formula)
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas())
+def test_models_found_are_real_models(formula):
+    model = satisfying_assignment(formula)
+    if model is not None:
+        assert evaluate(formula, model, default=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas(), formulas())
+def test_entailment_is_reflexive_and_consistent(f, g):
+    assert entails(f, f)
+    if entails(f, g) and entails(g, f):
+        assert equivalent(f, g)

@@ -1,0 +1,186 @@
+"""Shared fixtures transcribing the paper's running examples.
+
+Figure 2(a) reconstruction
+--------------------------
+The arXiv source of the paper renders Fig. 2(a) as scrambled text, so the
+edge list below is *reconstructed* from the prose, chosen to satisfy every
+machine-checkable statement in the paper:
+
+* the node labels (``v1..v16`` with labels ``a1..g1``) — unambiguous;
+* Example 3: ``mat(u5) = {v13}``, ``mat(u10) = {v9,v10,v13,v15}``,
+  ``Q(G) = {(v3,v11),(v3,v12),(v3,v14),(v8,v12),(v8,v14)}``, the match
+  ``(v1,v3,v3,v11)``, ``v3 |= u3`` via ``v6 |= u7`` and ``v11 |= u8``, and
+  ``v5 |= u3`` because v5 cannot reach a node matching u6;
+* Example 9: after PruneDownward ``mat(u2) = {v3,v8}``, ``mat(u3) = {v3,v5}``,
+  ``mat(u7) = {v6,v7}`` unchanged, and the valuation of v2 is inherited from
+  v4 along a shared chain (we place v2 above v4 via the edge ``v2 -> v4``);
+* Example 10: ``mat(u1)`` reaches each of v3, v8, v5.
+
+Known deviations (the prose itself is not fully self-consistent):
+
+* Example 9 explains v8's removal from ``mat(u3)`` with the valuation
+  ``pu8 = 1, pu6 = pu7 = 0`` — under the printed ``fs(u3) = !u6 | (u7 & u8)``
+  that valuation makes the predicate *true* for every possible parentage of
+  u4, so it cannot be the removal reason as printed.  In this reconstruction
+  v8 is removed because it reaches no D1 node (``p_{u4} = 0`` in
+  ``fext(u3)``), which yields exactly the printed post-pruning mats and the
+  printed answer set.
+* Figure 5's concrete chain decomposition is not reproduced: chains are
+  produced by our path-cover algorithm and are correct but not identical.
+
+Query of Fig. 2(b): u1(A1 root) -> backbone u2(C1), u3(C1);
+u2 -> predicate u5(E2), fs(u2) = u5; u3 -> backbone u4(D1, output),
+predicates u6(G1), u7(B1), u8(D1), fs(u3) = !u6 | (u7 & u8);
+u7 -> predicates u9(E1), u10(E1), fs(u7) = u9 | u10.
+Output nodes: u2 and u4 (the starred nodes).
+"""
+
+from __future__ import annotations
+
+from repro.graph import DataGraph
+
+#: label of each Fig. 2(a) node (paper ids v1..v16).
+FIG2_LABELS: dict[int, str] = {
+    1: "a1", 2: "a1", 3: "c1", 4: "a1", 5: "c2", 6: "b1", 7: "b1", 8: "c1",
+    9: "e1", 10: "e1", 11: "d1", 12: "d1", 13: "e2", 14: "d1", 15: "e1",
+    16: "g1",
+}
+
+#: reconstructed edges of Fig. 2(a) (paper ids).
+FIG2_EDGES: list[tuple[int, int]] = [
+    (1, 3), (1, 5),
+    (2, 4),
+    (4, 8), (4, 5),
+    (7, 3), (7, 9),
+    (3, 6), (3, 11),
+    (6, 10), (10, 15),
+    (11, 16), (11, 13),
+    (5, 12), (5, 14),
+    (8, 13),
+]
+
+
+def parse_paper_label(label: str) -> tuple[str, int]:
+    """Split ``"a1"`` / ``"E2"`` into ``("a", 1)`` (tag lower-cased)."""
+    head = label.rstrip("0123456789")
+    rank = int(label[len(head):])
+    return head.lower(), rank
+
+
+def fig2_graph() -> DataGraph:
+    """The Fig. 2(a) data graph with 0-based node ids ``v_i -> i - 1``.
+
+    Each node carries ``label`` (e.g. ``"c2"``), ``tag`` (``"c"``) and
+    ``rank`` (``2``), implementing the paper's convention that a data label
+    ``x_i`` matches a query label ``Y_j`` iff ``x == y`` and ``i >= j``.
+    """
+    graph = DataGraph()
+    for paper_id in range(1, 17):
+        label = FIG2_LABELS[paper_id]
+        tag, rank = parse_paper_label(label)
+        graph.add_node({"label": label, "tag": tag, "rank": rank})
+    for source, target in FIG2_EDGES:
+        graph.add_edge(source - 1, target - 1)
+    return graph
+
+
+def v(paper_id: int) -> int:
+    """Map a paper node id ``v_i`` to the 0-based graph id."""
+    return paper_id - 1
+
+
+#: Paper answer set of Example 3 as 0-based (u2-image, u4-image) pairs.
+FIG2_ANSWER: set[tuple[int, int]] = {
+    (v(3), v(11)), (v(3), v(12)), (v(3), v(14)),
+    (v(8), v(12)), (v(8), v(14)),
+}
+
+
+def fig4_query(variant: str, fs_u1: str = "!u2"):
+    """The Fig. 4 queries used by Examples 4–6 (Sections 3.1–3.3).
+
+    Structure (label assignment reconstructed so the prose relations hold:
+    ``u6 ⊢ u2``, ``u4 ⊴ u7``-compatible labels, ``u5``/``u8`` rendered
+    non-independent by ``fs(u3) = (u5 & u6) | (!u5 & u6)``)::
+
+        u1 (A1, root, output? -> u3 is the starred output)
+        ├── u2 (predicate, B1)   [AD in Q1, PC in Q2]
+        │     └── u4 (predicate, E1)
+        └── u3 (backbone, C1, output)
+              ├── u5 (predicate, C1)
+              │     └── u8 (predicate, F1)
+              └── u6 (predicate, B2)
+                    └── u7 (predicate, E1)
+
+    fs: u1 -> ``fs_u1`` (Example 4 uses ``!u2``, Example 5 uses ``u2``),
+    u2 -> u4, u3 -> (u5 & u6) | (!u5 & u6), u5 -> u8, u6 -> u7.
+
+    Args:
+        variant: ``"q1"`` (u2 is an AD child) or ``"q2"`` (u2 is PC).
+        fs_u1: structural predicate of the root.
+    """
+    from repro.query import QueryBuilder
+
+    u2_edge = "ad" if variant == "q1" else "pc"
+    return (
+        QueryBuilder()
+        .backbone("u1", paper_label="A1")
+        .predicate("u2", parent="u1", edge=u2_edge, paper_label="B1")
+        .backbone("u3", parent="u1", paper_label="C1")
+        .predicate("u4", parent="u2", paper_label="E1")
+        .predicate("u5", parent="u3", paper_label="C1")
+        .predicate("u6", parent="u3", paper_label="B2")
+        .predicate("u7", parent="u6", paper_label="E1")
+        .predicate("u8", parent="u5", paper_label="F1")
+        .structural("u1", fs_u1)
+        .structural("u2", "u4")
+        .structural("u3", "(u5 & u6) | (!u5 & u6)")
+        .structural("u5", "u8")
+        .structural("u6", "u7")
+        .outputs("u3")
+        .build()
+    )
+
+
+def fig4_q3():
+    """Q3 of Fig. 4(c): the minimum equivalent of Q1 with ``fs(u1)=u2``.
+
+    Node ids keep their Q1 names so tests can compare shapes directly:
+    u1(A1) -> u3(C1, output) -> u6(B2) -> u7(E1).
+    """
+    from repro.query import QueryBuilder
+
+    return (
+        QueryBuilder()
+        .backbone("u1", paper_label="A1")
+        .backbone("u3", parent="u1", paper_label="C1")
+        .predicate("u6", parent="u3", paper_label="B2")
+        .predicate("u7", parent="u6", paper_label="E1")
+        .structural("u6", "u7")
+        .outputs("u3")
+        .build()
+    )
+
+
+def fig2_query():
+    """The GTPQ of Fig. 2(b); see the module docstring for the structure."""
+    from repro.query import QueryBuilder
+
+    return (
+        QueryBuilder()
+        .backbone("u1", paper_label="A1")
+        .backbone("u2", parent="u1", paper_label="C1")
+        .backbone("u3", parent="u1", paper_label="C1")
+        .backbone("u4", parent="u3", paper_label="D1")
+        .predicate("u5", parent="u2", paper_label="E2")
+        .predicate("u6", parent="u3", paper_label="G1")
+        .predicate("u7", parent="u3", paper_label="B1")
+        .predicate("u8", parent="u3", paper_label="D1")
+        .predicate("u9", parent="u7", paper_label="E1")
+        .predicate("u10", parent="u7", paper_label="E1")
+        .structural("u2", "u5")
+        .structural("u3", "!u6 | (u7 & u8)")
+        .structural("u7", "u9 | u10")
+        .outputs("u2", "u4")
+        .build()
+    )

@@ -1,0 +1,151 @@
+"""Tests for attribute predicates."""
+
+import pytest
+
+from repro.query import AttributePredicate
+
+
+class TestMatching:
+    def test_empty_predicate_matches_everything(self):
+        assert AttributePredicate.wildcard().matches({})
+        assert AttributePredicate.wildcard().matches({"tag": "x"})
+
+    def test_label_factory(self):
+        predicate = AttributePredicate.label("person3")
+        assert predicate.matches({"label": "person3"})
+        assert not predicate.matches({"label": "person4"})
+        assert not predicate.matches({})
+
+    def test_tag_rank_factory_paper_convention(self):
+        # Example 3: v13 (e2) matches u5 (E2); v15 (e1) does not.
+        predicate = AttributePredicate.tag_rank("E2")
+        assert predicate.matches({"tag": "e", "rank": 2})
+        assert predicate.matches({"tag": "e", "rank": 3})
+        assert not predicate.matches({"tag": "e", "rank": 1})
+        assert not predicate.matches({"tag": "d", "rank": 2})
+
+    def test_numeric_comparisons(self):
+        # Q1 of Example 1: year in [2000, 2010].
+        predicate = AttributePredicate([("year", ">=", 2000), ("year", "<=", 2010)])
+        assert predicate.matches({"year": 2005})
+        assert predicate.matches({"year": 2000})
+        assert not predicate.matches({"year": 1999})
+        assert not predicate.matches({"year": 2011})
+
+    def test_not_equal(self):
+        predicate = AttributePredicate([("tag", "!=", "item")])
+        assert predicate.matches({"tag": "person"})
+        assert not predicate.matches({"tag": "item"})
+
+    def test_missing_attribute_fails(self):
+        predicate = AttributePredicate([("year", ">", 2000)])
+        assert not predicate.matches({"tag": "paper"})
+
+    def test_incomparable_types_fail_quietly(self):
+        predicate = AttributePredicate([("year", ">", 2000)])
+        assert not predicate.matches({"year": "not-a-number"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            AttributePredicate([("a", "~=", 1)])
+
+    def test_double_equals_normalized(self):
+        predicate = AttributePredicate([("a", "==", 1)])
+        assert predicate.matches({"a": 1})
+
+
+class TestSatisfiability:
+    def test_empty_is_satisfiable(self):
+        assert AttributePredicate.wildcard().is_satisfiable()
+
+    def test_consistent_interval(self):
+        assert AttributePredicate(
+            [("year", ">=", 2000), ("year", "<=", 2010)]
+        ).is_satisfiable()
+
+    def test_empty_interval(self):
+        assert not AttributePredicate(
+            [("year", ">", 2010), ("year", "<", 2000)]
+        ).is_satisfiable()
+
+    def test_point_interval(self):
+        assert AttributePredicate(
+            [("year", ">=", 5), ("year", "<=", 5)]
+        ).is_satisfiable()
+        assert not AttributePredicate(
+            [("year", ">", 5), ("year", "<=", 5)]
+        ).is_satisfiable()
+
+    def test_point_interval_excluded(self):
+        assert not AttributePredicate(
+            [("year", ">=", 5), ("year", "<=", 5), ("year", "!=", 5)]
+        ).is_satisfiable()
+
+    def test_conflicting_equalities(self):
+        assert not AttributePredicate(
+            [("tag", "=", "a"), ("tag", "=", "b")]
+        ).is_satisfiable()
+
+    def test_equality_vs_bounds(self):
+        assert AttributePredicate(
+            [("year", "=", 2005), ("year", ">=", 2000)]
+        ).is_satisfiable()
+        assert not AttributePredicate(
+            [("year", "=", 1999), ("year", ">=", 2000)]
+        ).is_satisfiable()
+
+    def test_equality_vs_not_equal(self):
+        assert not AttributePredicate(
+            [("tag", "=", "a"), ("tag", "!=", "a")]
+        ).is_satisfiable()
+
+    def test_independent_attributes(self):
+        assert AttributePredicate(
+            [("a", "=", 1), ("b", "=", 2)]
+        ).is_satisfiable()
+
+
+class TestSubsumption:
+    def test_paper_similarity_condition(self):
+        # u2 ⊢ u1 cases from Section 3.1: <= with smaller constant subsumes.
+        general = AttributePredicate([("year", "<=", 2010)])
+        specific = AttributePredicate([("year", "<=", 2005)])
+        assert specific.subsumes(general)
+        assert not general.subsumes(specific)
+
+    def test_ge_direction(self):
+        general = AttributePredicate([("rank", ">=", 1)])
+        specific = AttributePredicate([("rank", ">=", 2)])
+        assert specific.subsumes(general)
+        assert not general.subsumes(specific)
+
+    def test_equality_requires_same_constant(self):
+        a = AttributePredicate([("tag", "=", "x")])
+        b = AttributePredicate([("tag", "=", "x")])
+        c = AttributePredicate([("tag", "=", "y")])
+        assert a.subsumes(b)
+        assert not a.subsumes(c)
+
+    def test_tag_rank_labels(self):
+        # C2 is more specific than C1 (matches fewer nodes).
+        c1 = AttributePredicate.tag_rank("C1")
+        c2 = AttributePredicate.tag_rank("C2")
+        assert c2.subsumes(c1)
+        assert not c1.subsumes(c2)
+
+    def test_anything_subsumes_wildcard(self):
+        assert AttributePredicate.label("x").subsumes(AttributePredicate.wildcard())
+        assert not AttributePredicate.wildcard().subsumes(AttributePredicate.label("x"))
+
+    def test_conjoin(self):
+        joined = AttributePredicate([("a", "=", 1)]).conjoin(
+            AttributePredicate([("b", ">", 2)])
+        )
+        assert joined.matches({"a": 1, "b": 3})
+        assert not joined.matches({"a": 1, "b": 2})
+
+    def test_equality_and_hash(self):
+        a = AttributePredicate([("a", "=", 1), ("b", ">", 2)])
+        b = AttributePredicate([("b", ">", 2), ("a", "=", 1)])
+        assert a == b
+        assert hash(a) == hash(b)

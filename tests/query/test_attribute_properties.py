@@ -1,0 +1,89 @@
+"""Property-based tests pinning attribute-predicate semantics.
+
+Two soundness obligations used throughout Section 3:
+
+* ``is_satisfiable`` — if any concrete tuple matches, the predicate must
+  be declared satisfiable (no false negatives);
+* ``subsumes`` (the paper's ``⊢``) — if ``p.subsumes(q)`` then every
+  tuple matching ``p`` matches ``q``.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.query import AttributePredicate
+
+_ATTRS = ["a", "b"]
+_OPS = ["<", "<=", "=", "!=", ">", ">="]
+
+
+def atoms(max_size=4):
+    return st.lists(
+        st.tuples(
+            st.sampled_from(_ATTRS),
+            st.sampled_from(_OPS),
+            st.integers(min_value=-5, max_value=5),
+        ),
+        max_size=max_size,
+    )
+
+
+def tuples_strategy():
+    return st.dictionaries(
+        st.sampled_from(_ATTRS),
+        st.one_of(
+            st.integers(min_value=-6, max_value=6),
+            st.floats(min_value=-6, max_value=6, allow_nan=False),
+        ),
+        min_size=len(_ATTRS),
+        max_size=len(_ATTRS),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(atoms(), tuples_strategy())
+def test_matching_tuple_implies_satisfiable(atom_list, candidate):
+    predicate = AttributePredicate(atom_list)
+    if predicate.matches(candidate):
+        assert predicate.is_satisfiable(), (
+            f"{predicate!r} matched {candidate} but was declared unsat"
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(atoms())
+def test_unsatisfiable_predicates_match_nothing(atom_list):
+    predicate = AttributePredicate(atom_list)
+    if not predicate.is_satisfiable():
+        # Exhaustive-ish probe over a grid of integer tuples.
+        for a in range(-6, 7):
+            for b in range(-6, 7):
+                assert not predicate.matches({"a": a, "b": b})
+
+
+@settings(max_examples=300, deadline=None)
+@given(atoms(), atoms(), tuples_strategy())
+def test_subsumption_is_semantic_implication(left_atoms, right_atoms, candidate):
+    left = AttributePredicate(left_atoms)
+    right = AttributePredicate(right_atoms)
+    if left.subsumes(right) and left.matches(candidate):
+        assert right.matches(candidate), (
+            f"{left!r} ⊢ {right!r} but {candidate} separates them"
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(atoms())
+def test_subsumption_reflexive(atom_list):
+    predicate = AttributePredicate(atom_list)
+    assert predicate.subsumes(predicate)
+
+
+@settings(max_examples=150, deadline=None)
+@given(atoms(), atoms())
+def test_conjoin_strengthens(left_atoms, right_atoms):
+    left = AttributePredicate(left_atoms)
+    right = AttributePredicate(right_atoms)
+    joined = left.conjoin(right)
+    assert joined.subsumes(left)
+    assert joined.subsumes(right)

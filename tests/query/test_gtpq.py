@@ -1,0 +1,249 @@
+"""Tests for the GTPQ model, builder and serialization."""
+
+import pytest
+
+from repro.logic import TRUE, Var, land
+from repro.query import (
+    AttributePredicate,
+    EdgeType,
+    QueryBuilder,
+    QueryValidationError,
+    query_from_dict,
+    query_from_json,
+    query_to_dict,
+    query_to_json,
+)
+from tests.paper_fixtures import fig2_query
+
+
+class TestBuilder:
+    def test_fig2_query_builds(self):
+        query = fig2_query()
+        assert query.root == "u1"
+        assert query.size == 10
+        assert sorted(query.backbone_nodes()) == ["u1", "u2", "u3", "u4"]
+        assert sorted(query.predicate_nodes()) == [
+            "u10", "u5", "u6", "u7", "u8", "u9",
+        ]
+        assert query.outputs == ["u2", "u4"]
+
+    def test_default_edge_is_ad(self):
+        query = fig2_query()
+        assert query.edge_type("u2") is EdgeType.DESCENDANT
+
+    def test_pc_edge_parsing(self):
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .backbone("b", parent="a", edge="/", label="y")
+            .build()
+        )
+        assert query.edge_type("b") is EdgeType.CHILD
+
+    def test_fext_conjoins_backbone_children(self):
+        query = fig2_query()
+        # fext(u1) = u2 & u3 (both backbone, fs(u1) = 1).
+        assert query.fext("u1") == land(Var("u2"), Var("u3"))
+        # fext(u3) = u4 & (!u6 | (u7 & u8)).
+        fext_u3 = query.fext("u3")
+        assert fext_u3.variables() == {"u4", "u6", "u7", "u8"}
+
+    def test_default_structural_conjunction(self):
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", label="y")
+            .predicate("q", parent="a", label="z")
+            .build()
+        )
+        assert query.fs("a") == land(Var("p"), Var("q"))
+
+    def test_default_outputs_are_all_backbone(self):
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .backbone("b", parent="a", label="y")
+            .predicate("p", parent="b", label="z")
+            .build()
+        )
+        assert set(query.outputs) == {"a", "b"}
+
+    def test_leaf_fs_is_true(self):
+        assert fig2_query().fs("u4") is TRUE
+
+
+class TestValidation:
+    def test_duplicate_id_rejected(self):
+        builder = QueryBuilder().backbone("a", label="x")
+        with pytest.raises(QueryValidationError, match="duplicate"):
+            builder.backbone("a", label="y")
+
+    def test_predicate_root_rejected(self):
+        with pytest.raises(QueryValidationError):
+            QueryBuilder().predicate("p", parent=None, label="x")
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(QueryValidationError, match="not yet added"):
+            QueryBuilder().backbone("a", label="x").backbone(
+                "b", parent="zzz", label="y"
+            )
+
+    def test_two_roots_rejected(self):
+        builder = QueryBuilder().backbone("a", label="x")
+        with pytest.raises(QueryValidationError, match="second root"):
+            builder.backbone("b", label="y")
+
+    def test_backbone_under_predicate_rejected(self):
+        builder = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", label="y")
+        )
+        builder.backbone("b", parent="p", label="z")
+        with pytest.raises(QueryValidationError, match="predicate parent"):
+            builder.build()
+
+    def test_predicate_output_rejected(self):
+        builder = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", label="y")
+            .outputs("p")
+        )
+        with pytest.raises(QueryValidationError, match="backbone"):
+            builder.build()
+
+    def test_fs_over_backbone_child_rejected(self):
+        builder = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .backbone("b", parent="a", label="y")
+            .structural("a", "b")
+        )
+        with pytest.raises(QueryValidationError, match="non-predicate-children"):
+            builder.build()
+
+    def test_fs_over_unrelated_node_rejected(self):
+        builder = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", label="y")
+            .structural("a", "zzz")
+        )
+        with pytest.raises(QueryValidationError):
+            builder.build()
+
+    def test_structural_on_unknown_node_rejected(self):
+        builder = QueryBuilder().backbone("a", label="x")
+        with pytest.raises(QueryValidationError, match="unknown node"):
+            builder.structural("nope", "a")
+
+
+class TestClassification:
+    def test_fig2_is_not_conjunctive(self):
+        query = fig2_query()
+        assert not query.is_conjunctive()
+        assert not query.is_union_conjunctive()  # has negation
+
+    def test_conjunctive_query(self):
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", label="y")
+            .predicate("q", parent="a", label="z")
+            .build()
+        )
+        assert query.is_conjunctive()
+        assert query.is_union_conjunctive()
+
+    def test_union_conjunctive_query(self):
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .predicate("p", parent="a", label="y")
+            .predicate("q", parent="a", label="z")
+            .structural("a", "p | q")
+            .build()
+        )
+        assert not query.is_conjunctive()
+        assert query.is_union_conjunctive()
+
+    def test_has_pc_edges(self):
+        assert not fig2_query().has_pc_edges()
+
+
+class TestTraversal:
+    def test_depth_first_preorder(self):
+        query = fig2_query()
+        order = list(query.depth_first())
+        assert order[0] == "u1"
+        assert order.index("u3") < order.index("u6")
+        assert set(order) == set(query.nodes)
+
+    def test_bottom_up_children_first(self):
+        query = fig2_query()
+        order = query.bottom_up()
+        position = {node_id: i for i, node_id in enumerate(order)}
+        for node_id, parent_id in query.parent.items():
+            assert position[node_id] < position[parent_id]
+
+    def test_ancestors(self):
+        query = fig2_query()
+        assert query.ancestors("u9") == ["u7", "u3", "u1"]
+        assert query.ancestors("u1") == []
+
+    def test_subtree_nodes(self):
+        query = fig2_query()
+        assert set(query.subtree_nodes("u7")) == {"u7", "u9", "u10"}
+
+    def test_copy_drop_subtree(self):
+        query = fig2_query()
+        from repro.logic import substitute
+
+        smaller = query.copy(
+            drop=["u7"],
+            structural_override={
+                "u3": substitute(query.fs("u3"), {"u7": False})
+            },
+        )
+        assert "u7" not in smaller.nodes
+        assert "u9" not in smaller.nodes
+        assert smaller.size == 7
+        # Original untouched.
+        assert query.size == 10
+
+
+class TestSerialization:
+    def test_round_trip_dict(self):
+        query = fig2_query()
+        rebuilt = query_from_dict(query_to_dict(query))
+        assert rebuilt.size == query.size
+        assert rebuilt.outputs == query.outputs
+        assert rebuilt.fs("u3") == query.fs("u3")
+        assert rebuilt.edge_type("u4") == query.edge_type("u4")
+        assert rebuilt.attribute("u5") == query.attribute("u5")
+
+    def test_round_trip_json(self):
+        query = fig2_query()
+        rebuilt = query_from_json(query_to_json(query))
+        assert rebuilt.size == query.size
+        assert rebuilt.fs("u7") == query.fs("u7")
+
+    def test_pc_edges_survive(self):
+        query = (
+            QueryBuilder()
+            .backbone("a", label="x")
+            .backbone("b", parent="a", edge="pc", label="y")
+            .build()
+        )
+        rebuilt = query_from_dict(query_to_dict(query))
+        assert rebuilt.edge_type("b") is EdgeType.CHILD
+
+    def test_wildcard_predicate_survives(self):
+        query = (
+            QueryBuilder()
+            .backbone("a", predicate=AttributePredicate.wildcard())
+            .build()
+        )
+        rebuilt = query_from_dict(query_to_dict(query))
+        assert rebuilt.attribute("a") == AttributePredicate.wildcard()

@@ -1,0 +1,131 @@
+"""Tests for the naive reference evaluator against the paper's examples."""
+
+from repro.query import (
+    QueryBuilder,
+    candidate_nodes,
+    downward_match_sets,
+    evaluate_naive,
+)
+from tests.paper_fixtures import FIG2_ANSWER, fig2_graph, fig2_query, v
+
+
+class TestCandidates:
+    def test_example3_mat_sets(self):
+        graph, query = fig2_graph(), fig2_query()
+        assert set(candidate_nodes(graph, query, "u5")) == {v(13)}
+        assert set(candidate_nodes(graph, query, "u10")) == {
+            v(9), v(10), v(13), v(15)
+        }
+        assert set(candidate_nodes(graph, query, "u1")) == {v(1), v(2), v(4)}
+        assert set(candidate_nodes(graph, query, "u2")) == {v(3), v(5), v(8)}
+
+
+class TestDownwardMatching:
+    def test_example9_downward_sets(self):
+        graph, query = fig2_graph(), fig2_query()
+        down = downward_match_sets(graph, query)
+        assert down["u2"] == {v(3), v(8)}
+        assert down["u3"] == {v(3), v(5)}
+        assert down["u7"] == {v(6), v(7)}
+        assert down["u1"] == {v(1), v(2), v(4)}
+
+    def test_example3_v3_matches_u3(self):
+        graph, query = fig2_graph(), fig2_query()
+        down = downward_match_sets(graph, query)
+        assert v(3) in down["u3"]
+        assert v(5) in down["u3"]   # cannot reach u6's match -> !u6 true
+        assert v(8) not in down["u3"]  # reaches no D1 node
+
+
+class TestPaperAnswer:
+    def test_example3_answer_set(self):
+        """The headline fixture check: Q(G) from the paper, exactly."""
+        graph, query = fig2_graph(), fig2_query()
+        assert evaluate_naive(query, graph) == FIG2_ANSWER
+
+
+class TestSmallQueries:
+    def test_single_node_query(self):
+        graph = fig2_graph()
+        query = QueryBuilder().backbone("a", paper_label="G1").build()
+        assert evaluate_naive(query, graph) == {(v(16),)}
+
+    def test_empty_answer(self):
+        graph = fig2_graph()
+        query = (
+            QueryBuilder()
+            .backbone("a", paper_label="G1")
+            .backbone("b", parent="a", paper_label="A1")
+            .build()
+        )
+        # g1 is a leaf: nothing below it.
+        assert evaluate_naive(query, graph) == set()
+
+    def test_pc_edge_semantics(self):
+        graph = fig2_graph()
+        ad_query = (
+            QueryBuilder()
+            .backbone("a", paper_label="A1")
+            .backbone("b", parent="a", edge="ad", paper_label="E2")
+            .outputs("a", "b")
+            .build()
+        )
+        pc_query = (
+            QueryBuilder()
+            .backbone("a", paper_label="A1")
+            .backbone("b", parent="a", edge="pc", paper_label="E2")
+            .outputs("a", "b")
+            .build()
+        )
+        # v1 reaches v13 (via v3->v11), but no a-node is v13's parent.
+        assert (v(1), v(13)) in evaluate_naive(ad_query, graph)
+        assert evaluate_naive(pc_query, graph) == set()
+
+    def test_negation_filters(self):
+        graph = fig2_graph()
+        query = (
+            QueryBuilder()
+            .backbone("c", paper_label="C1")
+            .predicate("e", parent="c", paper_label="E2")
+            .structural("c", "!e")
+            .outputs("c")
+            .build()
+        )
+        # C-nodes NOT reaching an e2 node: v5 only (v3, v8 reach v13).
+        assert evaluate_naive(query, graph) == {(v(5),)}
+
+    def test_disjunction(self):
+        graph = fig2_graph()
+        query = (
+            QueryBuilder()
+            .backbone("c", paper_label="C1")
+            .predicate("g", parent="c", paper_label="G1")
+            .predicate("e", parent="c", paper_label="E2")
+            .structural("c", "g | e")
+            .outputs("c")
+            .build()
+        )
+        # v3 reaches both, v8 reaches v13 (e2), v5 reaches neither.
+        assert evaluate_naive(query, graph) == {(v(3),), (v(8),)}
+
+    def test_output_projection_dedups(self):
+        graph = fig2_graph()
+        query = (
+            QueryBuilder()
+            .backbone("a", paper_label="A1")
+            .backbone("d", parent="a", paper_label="D1")
+            .outputs("d")
+            .build()
+        )
+        results = evaluate_naive(query, graph)
+        # v12 and v14 are each reachable from multiple A-nodes but appear once.
+        assert results == {(v(11),), (v(12),), (v(14),)}
+
+    def test_wildcard_node(self):
+        graph = fig2_graph()
+        query = (
+            QueryBuilder()
+            .backbone("g", paper_label="G1")
+            .build()
+        )
+        assert evaluate_naive(query, graph) == {(v(16),)}

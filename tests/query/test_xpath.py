@@ -1,0 +1,136 @@
+"""Tests for the XPath-like query frontend."""
+
+import pytest
+
+from repro.engine import GTEA
+from repro.graph import DataGraph
+from repro.logic import Var, land, lnot, lor
+from repro.query import EdgeType, evaluate_naive
+from repro.query.xpath import XPathSyntaxError, parse_xpath_query
+
+
+def _graph():
+    #  auction(0) -> bidder(1), seller(2), item(3)
+    #  auction(4) -> bidder(5)
+    #  item(3) -> mail(6)
+    g = DataGraph()
+    for label in ["auction", "bidder", "seller", "item", "auction", "bidder", "mail"]:
+        g.add_node(label=label)
+    for e in [(0, 1), (0, 2), (0, 3), (4, 5), (3, 6)]:
+        g.add_edge(*e)
+    return g
+
+
+class TestParsing:
+    def test_simple_descendant_path(self):
+        query = parse_xpath_query("//auction//bidder")
+        assert query.size == 2
+        assert query.outputs == [f"bidder_1"]
+        assert query.edge_type("bidder_1") is EdgeType.DESCENDANT
+
+    def test_child_step(self):
+        query = parse_xpath_query("//auction/bidder")
+        assert query.edge_type("bidder_1") is EdgeType.CHILD
+
+    def test_wildcard(self):
+        query = parse_xpath_query("//*/bidder")
+        root = query.root
+        assert query.attribute(root).matches({"anything": 1})
+
+    def test_structural_and(self):
+        query = parse_xpath_query("//auction[bidder and seller]")
+        root = query.root
+        fs = query.fs(root)
+        assert len(fs.variables()) == 2
+        assert query.is_conjunctive()
+
+    def test_structural_or_and_not(self):
+        query = parse_xpath_query("//auction[bidder or not(seller)]")
+        fs = query.fs(query.root)
+        variables = sorted(fs.variables())
+        assert fs == lor(Var(variables[0]), lnot(Var(variables[1])))
+
+    def test_attribute_atoms(self):
+        query = parse_xpath_query("//paper[@year >= 2000 and @year <= 2010]")
+        predicate = query.attribute(query.root)
+        assert predicate.matches({"label": "paper", "year": 2005})
+        assert not predicate.matches({"label": "paper", "year": 1999})
+
+    def test_string_values(self):
+        query = parse_xpath_query("//author[@value = 'Alice']")
+        assert query.attribute(query.root).matches(
+            {"label": "author", "value": "Alice"}
+        )
+
+    def test_relative_path_with_dot_slash(self):
+        query = parse_xpath_query("//person[.//education]")
+        assert query.size == 2
+        child = next(iter(query.fs(query.root).variables()))
+        assert query.edge_type(child) is EdgeType.DESCENDANT
+
+    def test_multi_step_relative_path(self):
+        query = parse_xpath_query("//person[address/city]")
+        assert query.size == 3
+        # address is the predicate var; city hangs below it.
+        address = next(iter(query.fs(query.root).variables()))
+        assert query.children[address]
+
+    def test_spine_outputs(self):
+        query = parse_xpath_query("//a/b//c", outputs="spine")
+        assert len(query.outputs) == 3
+
+    def test_multiple_bracket_blocks_conjoin(self):
+        query = parse_xpath_query("//a[b][c]")
+        fs = query.fs(query.root)
+        assert len(fs.variables()) == 2
+        assert query.is_conjunctive()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "", "auction", "//", "//a[", "//a]", "//a[not()]",
+            "//a[@x 5]", "//a[and]", "//a[b or]", "//a[b[c]]",
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises((XPathSyntaxError, Exception)):
+            parse_xpath_query(text)
+
+
+class TestEvaluation:
+    def test_and_query(self):
+        graph = _graph()
+        query = parse_xpath_query("//auction[bidder and seller]")
+        assert GTEA(graph).evaluate(query) == {(0,)}
+
+    def test_or_query(self):
+        graph = _graph()
+        query = parse_xpath_query("//auction[seller or bidder]")
+        assert GTEA(graph).evaluate(query) == {(0,), (4,)}
+
+    def test_not_query(self):
+        graph = _graph()
+        query = parse_xpath_query("//auction[bidder and not(seller)]")
+        assert GTEA(graph).evaluate(query) == {(4,)}
+
+    def test_nested_relative_path(self):
+        graph = _graph()
+        query = parse_xpath_query("//auction[item/mail]")
+        assert GTEA(graph).evaluate(query) == {(0,)}
+
+    def test_output_is_last_step(self):
+        graph = _graph()
+        query = parse_xpath_query("//auction[seller]/bidder")
+        assert GTEA(graph).evaluate(query) == {(1,)}
+
+    def test_agrees_with_naive(self):
+        graph = _graph()
+        for text in [
+            "//auction[bidder or not(item/mail)]",
+            "//auction[not(bidder) or (seller and item)]",
+            "//auction/item",
+        ]:
+            query = parse_xpath_query(text)
+            assert GTEA(graph).evaluate(query) == evaluate_naive(query, graph)

@@ -1,0 +1,87 @@
+"""Tests for chain decomposition (path cover)."""
+
+from hypothesis import given, settings
+
+from repro.graph import DataGraph
+from repro.reachability import Dag, chain_decomposition
+from repro.reachability.base import Dag as DagClass
+from tests.paper_fixtures import fig2_graph
+from tests.reachability.test_indexes import random_dags
+
+
+def _dag(graph: DataGraph) -> Dag:
+    return DagClass.from_graph(graph)
+
+
+class TestChainCoverBasics:
+    def test_chain_of_a_path_is_single_chain(self):
+        graph = DataGraph.from_edges("abcd", [(0, 1), (1, 2), (2, 3)])
+        cover = chain_decomposition(_dag(graph))
+        assert cover.num_chains == 1
+        assert cover.chains[0] == [0, 1, 2, 3]
+        assert [cover.sid[n] for n in (0, 1, 2, 3)] == [1, 2, 3, 4]
+
+    def test_antichain_gets_one_chain_per_node(self):
+        graph = DataGraph.from_edges("abc", [])
+        cover = chain_decomposition(_dag(graph))
+        assert cover.num_chains == 3
+
+    def test_diamond_needs_two_chains(self):
+        graph = DataGraph.from_edges("abcd", [(0, 1), (0, 2), (1, 3), (2, 3)])
+        cover = chain_decomposition(_dag(graph))
+        assert cover.num_chains == 2
+
+    def test_same_chain_reaches(self):
+        graph = DataGraph.from_edges("abc", [(0, 1), (1, 2)])
+        cover = chain_decomposition(_dag(graph))
+        assert cover.same_chain_reaches(0, 2)
+        assert not cover.same_chain_reaches(2, 0)
+        assert not cover.same_chain_reaches(0, 0)
+
+    def test_fig2_cover_is_valid(self):
+        graph = fig2_graph()
+        cover = chain_decomposition(_dag(graph))
+        seen: set[int] = set()
+        for chain in cover.chains:
+            for node in chain:
+                assert node not in seen
+                seen.add(node)
+            for first, second in zip(chain, chain[1:]):
+                assert graph.has_edge(first, second)
+        assert seen == set(graph.nodes())
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_dags())
+def test_chains_partition_nodes_and_follow_edges(graph):
+    dag = _dag(graph)
+    cover = chain_decomposition(dag)
+    seen: set[int] = set()
+    for chain in cover.chains:
+        assert chain, "empty chain"
+        for node in chain:
+            assert node not in seen
+            seen.add(node)
+        for first, second in zip(chain, chain[1:]):
+            assert second in dag.succ[first], "chain uses a non-edge"
+    assert seen == set(range(dag.num_nodes))
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_dags())
+def test_cid_sid_consistent_with_chains(graph):
+    cover = chain_decomposition(_dag(graph))
+    for chain_id, chain in enumerate(cover.chains):
+        for position, node in enumerate(chain, start=1):
+            assert cover.cid[node] == chain_id
+            assert cover.sid[node] == position
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_dags())
+def test_path_cover_is_no_larger_than_trivial_cover(graph):
+    cover = chain_decomposition(_dag(graph))
+    assert cover.num_chains <= graph.num_nodes
+    # A graph with at least one edge must save at least one chain.
+    if graph.num_edges > 0:
+        assert cover.num_chains < graph.num_nodes

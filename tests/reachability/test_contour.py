@@ -1,0 +1,134 @@
+"""Tests for contour merging and Proposition 7 set-reachability."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph import DataGraph, reaches
+from repro.reachability import (
+    ThreeHopIndex,
+    contour_reaches_node,
+    merge_pred_lists,
+    merge_succ_lists,
+    node_reaches_contour,
+)
+from repro.reachability.base import Dag
+from tests.paper_fixtures import fig2_graph, v
+from tests.reachability.test_indexes import random_dags
+
+
+def _index(graph: DataGraph) -> ThreeHopIndex:
+    return ThreeHopIndex(Dag.from_graph(graph))
+
+
+def _set_reaches(graph, sources, target) -> bool:
+    return any(reaches(graph, s, target) for s in sources)
+
+
+def _reaches_set(graph, source, targets) -> bool:
+    return any(reaches(graph, source, t) for t in targets)
+
+
+class TestFig2Contours:
+    def test_example8_pred_contour_of_mat_u10(self):
+        """Example 8: contour of mat(u10) answers exactly its ancestor set."""
+        graph = fig2_graph()
+        index = _index(graph)
+        mat_u10 = [v(9), v(10), v(13), v(15)]
+        contour = merge_pred_lists(index, mat_u10)
+        for node in graph.nodes():
+            expected = _reaches_set(graph, node, mat_u10)
+            assert node_reaches_contour(index, node, contour) == expected
+
+    def test_example9_pruning_facts_via_contours(self):
+        graph = fig2_graph()
+        index = _index(graph)
+        # mat(u5) = {v13}: v3 and v8 reach it, v5 does not.
+        contour = merge_pred_lists(index, [v(13)])
+        assert node_reaches_contour(index, v(3), contour)
+        assert node_reaches_contour(index, v(8), contour)
+        assert not node_reaches_contour(index, v(5), contour)
+
+    def test_example10_upward_direction(self):
+        graph = fig2_graph()
+        index = _index(graph)
+        mat_u1 = [v(1), v(2), v(4)]
+        contour = merge_succ_lists(index, mat_u1)
+        # mat(u1) reaches v3, v8 and v5 (Example 10).
+        for paper_id in (3, 8, 5):
+            assert contour_reaches_node(index, v(paper_id), contour)
+        # ... but nothing reaches the roots themselves.
+        for paper_id in (1, 2, 7):
+            assert not contour_reaches_node(index, v(paper_id), contour)
+
+
+class TestEdgeCases:
+    def test_empty_set_contour(self):
+        graph = DataGraph.from_edges("ab", [(0, 1)])
+        index = _index(graph)
+        assert len(merge_pred_lists(index, [])) == 0
+        assert not node_reaches_contour(index, 0, merge_pred_lists(index, []))
+        assert not contour_reaches_node(index, 1, merge_succ_lists(index, []))
+
+    def test_member_is_not_its_own_ancestor_on_dag(self):
+        graph = DataGraph.from_edges("ab", [(0, 1)])
+        index = _index(graph)
+        contour = merge_pred_lists(index, [1])
+        assert node_reaches_contour(index, 0, contour)
+        assert not node_reaches_contour(index, 1, contour)  # strictness
+
+    def test_set_with_chain_stacked_members(self):
+        # Members on the same chain: only the extremal one matters.
+        graph = DataGraph.from_edges("abcd", [(0, 1), (1, 2), (2, 3)])
+        index = _index(graph)
+        contour = merge_pred_lists(index, [1, 2, 3])
+        assert node_reaches_contour(index, 0, contour)
+        assert node_reaches_contour(index, 1, contour)  # reaches 2, 3
+        assert node_reaches_contour(index, 2, contour)  # reaches 3
+        assert not node_reaches_contour(index, 3, contour)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags(), st.data())
+def test_pred_contour_matches_oracle(graph, data):
+    n = graph.num_nodes
+    members = data.draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n)
+    )
+    index = _index(graph)
+    contour = merge_pred_lists(index, members)
+    for node in graph.nodes():
+        expected = _reaches_set(graph, node, members)
+        assert node_reaches_contour(index, node, contour) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags(), st.data())
+def test_succ_contour_matches_oracle(graph, data):
+    n = graph.num_nodes
+    members = data.draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n)
+    )
+    index = _index(graph)
+    contour = merge_succ_lists(index, members)
+    for node in graph.nodes():
+        expected = _set_reaches(graph, members, node)
+        assert contour_reaches_node(index, node, contour) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dags())
+def test_complete_lists_match_oracle(graph):
+    """X_v / Y_v hold the true per-chain extrema of the reach sets."""
+    index = _index(graph)
+    cover = index.cover
+    for node in graph.nodes():
+        successors = index.complete_successor_list(node)
+        inclusive_reach = {node} | {
+            t for t in graph.nodes() if reaches(graph, node, t)
+        }
+        expected: dict[int, int] = {}
+        for member in inclusive_reach:
+            chain = cover.cid[member]
+            if chain not in expected or cover.sid[member] < expected[chain]:
+                expected[chain] = cover.sid[member]
+        assert successors == expected

@@ -1,0 +1,155 @@
+"""Cross-index correctness: every index must agree with the DFS oracle."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import DataGraph, reaches
+from repro.reachability import available_indexes, build_reachability
+from tests.paper_fixtures import fig2_graph
+
+
+def random_dags(max_nodes: int = 14):
+    """Random DAGs: edges only go from smaller to larger ids."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_nodes))
+        graph = DataGraph()
+        for __ in range(n):
+            graph.add_node(label="x")
+        if n > 1:
+            pairs = draw(
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=n - 2),
+                        st.integers(min_value=1, max_value=n - 1),
+                    ),
+                    max_size=3 * n,
+                )
+            )
+            for source, target in pairs:
+                if source < target:
+                    graph.add_edge(source, target)
+        return graph
+
+    return build()
+
+
+def random_digraphs(max_nodes: int = 12):
+    """Random digraphs, cycles allowed."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_nodes))
+        graph = DataGraph()
+        for __ in range(n):
+            graph.add_node(label="x")
+        pairs = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=3 * n,
+            )
+        )
+        for source, target in pairs:
+            graph.add_edge(source, target)
+        return graph
+
+    return build()
+
+
+ALL_INDEXES = available_indexes()
+
+
+@pytest.mark.parametrize("index_name", ALL_INDEXES)
+class TestAgainstOracleFixed:
+    def test_fig2_graph_full_matrix(self, index_name):
+        graph = fig2_graph()
+        service = build_reachability(graph, index_name)
+        for source in graph.nodes():
+            for target in graph.nodes():
+                expected = reaches(graph, source, target)
+                assert service.reaches(source, target) == expected, (
+                    f"{index_name}: {source}->{target}"
+                )
+
+    def test_single_node(self, index_name):
+        graph = DataGraph.from_edges("a", [])
+        service = build_reachability(graph, index_name)
+        assert not service.reaches(0, 0)
+
+    def test_self_loop(self, index_name):
+        graph = DataGraph.from_edges("a", [(0, 0)])
+        service = build_reachability(graph, index_name)
+        assert service.reaches(0, 0)
+
+    def test_cycle_members_reach_each_other_and_themselves(self, index_name):
+        graph = DataGraph.from_edges("abc", [(0, 1), (1, 0), (1, 2)])
+        service = build_reachability(graph, index_name)
+        assert service.reaches(0, 0)
+        assert service.reaches(0, 1)
+        assert service.reaches(1, 0)
+        assert service.reaches(0, 2)
+        assert not service.reaches(2, 2)
+        assert not service.reaches(2, 0)
+
+    def test_diamond(self, index_name):
+        graph = DataGraph.from_edges("abcd", [(0, 1), (0, 2), (1, 3), (2, 3)])
+        service = build_reachability(graph, index_name)
+        assert service.reaches(0, 3)
+        assert not service.reaches(1, 2)
+        assert not service.reaches(3, 0)
+
+    def test_long_chain(self, index_name):
+        n = 200
+        graph = DataGraph()
+        for __ in range(n):
+            graph.add_node()
+        for i in range(n - 1):
+            graph.add_edge(i, i + 1)
+        service = build_reachability(graph, index_name)
+        assert service.reaches(0, n - 1)
+        assert not service.reaches(n - 1, 0)
+        assert not service.reaches(5, 5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_dags())
+def test_all_indexes_match_oracle_on_random_dags(graph):
+    services = [build_reachability(graph, name) for name in ALL_INDEXES]
+    for source in graph.nodes():
+        for target in graph.nodes():
+            expected = reaches(graph, source, target)
+            for service in services:
+                got = service.reaches(source, target)
+                assert got == expected, (
+                    f"{service.index.name}: {source}->{target} expected "
+                    f"{expected}, got {got}"
+                )
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_digraphs())
+def test_all_indexes_match_oracle_on_random_cyclic_graphs(graph):
+    services = [build_reachability(graph, name) for name in ALL_INDEXES]
+    for source in graph.nodes():
+        for target in graph.nodes():
+            expected = reaches(graph, source, target)
+            for service in services:
+                assert service.reaches(source, target) == expected
+
+
+def test_unknown_index_name_raises():
+    with pytest.raises(ValueError, match="unknown index"):
+        build_reachability(DataGraph.from_edges("a", []), "nope")
+
+
+def test_counters_track_lookups():
+    graph = fig2_graph()
+    service = build_reachability(graph, "3hop")
+    service.counters.reset()
+    service.reaches(0, 10)
+    assert service.counters.lookups >= 1

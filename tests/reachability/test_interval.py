@@ -1,0 +1,111 @@
+"""Tests for interval labeling (trees) and the tree-cover index internals."""
+
+import pytest
+
+from repro.graph import DataGraph
+from repro.reachability import IntervalLabeling, ThreeHopIndex, TreeCoverIndex
+from repro.reachability.base import Dag
+
+
+def _tree() -> DataGraph:
+    #        0
+    #      /   \
+    #     1     2
+    #    / \     \
+    #   3   4     5
+    return DataGraph.from_edges("rabcde", [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)])
+
+
+class TestIntervalLabeling:
+    def test_ancestor_descendant(self):
+        labeling = IntervalLabeling(_tree())
+        assert labeling.is_ancestor(0, 3)
+        assert labeling.is_ancestor(1, 4)
+        assert not labeling.is_ancestor(1, 5)
+        assert not labeling.is_ancestor(3, 0)
+        assert not labeling.is_ancestor(0, 0)  # strict
+
+    def test_parent_child(self):
+        labeling = IntervalLabeling(_tree())
+        assert labeling.is_parent(0, 1)
+        assert not labeling.is_parent(0, 3)  # grandchild
+        assert not labeling.is_parent(1, 2)
+
+    def test_document_order_is_preorder(self):
+        labeling = IntervalLabeling(_tree())
+        order = labeling.document_order()
+        assert order[0] == 0
+        assert order.index(1) < order.index(3)
+        assert order.index(3) < order.index(2)
+
+    def test_levels(self):
+        labeling = IntervalLabeling(_tree())
+        assert labeling.level[0] == 0
+        assert labeling.level[1] == 1
+        assert labeling.level[3] == 2
+
+    def test_forest_supported(self):
+        graph = DataGraph.from_edges("abcd", [(0, 1), (2, 3)])
+        labeling = IntervalLabeling(graph)
+        assert labeling.is_ancestor(0, 1)
+        assert labeling.is_ancestor(2, 3)
+        assert not labeling.is_ancestor(0, 3)
+
+    def test_non_forest_rejected(self):
+        graph = DataGraph.from_edges("abc", [(0, 2), (1, 2)])
+        with pytest.raises(ValueError, match="parents"):
+            IntervalLabeling(graph)
+
+    def test_cycle_rejected(self):
+        graph = DataGraph.from_edges("ab", [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            IntervalLabeling(graph)
+
+
+class TestTreeCoverInternals:
+    def test_single_interval_on_tree(self):
+        index = TreeCoverIndex(Dag.from_graph(_tree()))
+        for node in range(6):
+            assert len(index.intervals[node]) == 1
+
+    def test_interval_merging_on_dag(self):
+        # 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: node 0 still compresses to one
+        # interval because the postorder ranges are adjacent.
+        graph = DataGraph.from_edges("abcd", [(0, 1), (0, 2), (1, 3), (2, 3)])
+        index = TreeCoverIndex(Dag.from_graph(graph))
+        assert index.reaches(0, 3)
+        assert index.reaches(2, 3)
+        assert not index.reaches(1, 2)
+
+    def test_index_size_reported(self):
+        index = TreeCoverIndex(Dag.from_graph(_tree()))
+        assert index.index_size() >= 6
+
+
+class TestThreeHopInternals:
+    def test_delta_lists_are_sorted(self):
+        graph = DataGraph.from_edges(
+            "abcdef", [(0, 1), (1, 2), (0, 3), (3, 4), (4, 2), (3, 5)]
+        )
+        index = ThreeHopIndex(Dag.from_graph(graph))
+        for entries in index.lout + index.lin:
+            assert entries == sorted(entries)
+
+    def test_skip_pointers_skip_empty_lists(self):
+        graph = DataGraph.from_edges("abcd", [(0, 1), (1, 2), (2, 3)])
+        index = ThreeHopIndex(Dag.from_graph(graph))
+        # Single chain, no cross-chain entries anywhere: all pointers None.
+        for node in range(4):
+            assert index.lout[node] == []
+            assert index.next_out(node) is None
+
+    def test_index_size_smaller_than_tc_on_path(self):
+        n = 64
+        graph = DataGraph()
+        for __ in range(n):
+            graph.add_node()
+        for i in range(n - 1):
+            graph.add_edge(i, i + 1)
+        index = ThreeHopIndex(Dag.from_graph(graph))
+        # A path compresses to zero stored entries (pure chain cover).
+        assert index.index_size() == 0
