@@ -1,0 +1,62 @@
+"""Session-layer caching: warm-vs-cold throughput on repeated traffic.
+
+The ROADMAP's serving scenario: the same (or overlapping) queries arrive
+over and over against one graph.  A cold path — no plan, candidate, or
+result reuse — pays full evaluation every time; a warm
+:class:`repro.engine.QuerySession` answers repeats from its caches.  The
+report shows where the speedup comes from via the cache hit counters
+surfaced in :class:`repro.engine.EvaluationStats`.
+"""
+
+from repro.bench import format_table, measure_warm_cold
+from repro.datasets import fig7_query
+from repro.engine import QuerySession
+
+from .conftest import emit_report
+
+#: repetitions of the Fig. 7 query triple in the workload.
+REPEATS = 5
+
+
+def _workload():
+    variants = [
+        fig7_query("q1", person_group=2, item_group=4, seller_group=6),
+        fig7_query("q2", person_group=2, item_group=4, seller_group=6),
+        fig7_query("q3", person_group=2, item_group=4, seller_group=6),
+    ]
+    return [variants[i % len(variants)] for i in range(REPEATS * len(variants))]
+
+
+def test_session_cache_report(xmark_datasets, benchmark):
+    graph = xmark_datasets[0.05].graph
+    workload = _workload()
+    holder = {}
+
+    def run():
+        holder["measurement"] = measure_warm_cold(graph, workload)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    measurement = holder["measurement"]
+    row = measurement.row()
+    emit_report("session_cache", format_table(
+        f"QuerySession warm vs cold ({len(workload)} queries, XMark scale 0.05)",
+        list(row),
+        [list(row.values())],
+    ))
+    # The acceptance bar: repeated traffic must be at least 2x faster warm.
+    assert measurement.speedup >= 2.0, row
+    assert measurement.stats.result_cache_hits > 0
+    assert measurement.stats.batch_unique_queries < measurement.stats.batch_queries
+
+
+def test_candidate_cache_shares_overlapping_predicates(xmark_datasets):
+    """Distinct queries with overlapping node predicates share mat(u)."""
+    graph = xmark_datasets[0.05].graph
+    session = QuerySession(graph, result_cache_size=0)
+    q1 = fig7_query("q1", person_group=2, item_group=4, seller_group=6)
+    q2 = fig7_query("q2", person_group=2, item_group=4, seller_group=6)
+    _, cold = session.evaluate_with_stats(q1)
+    assert cold.candidate_cache_hits == 0
+    _, warm = session.evaluate_with_stats(q2)
+    # Q2 extends Q1, so every Q1 predicate is fetched from the cache.
+    assert warm.candidate_cache_hits >= cold.candidate_cache_misses - 1

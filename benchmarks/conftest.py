@@ -20,6 +20,16 @@ from repro.datasets import generate_arxiv, generate_xmark
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker.
+
+    The default addopts deselect ``bench``-marked tests; run the suite
+    explicitly with ``pytest benchmarks -m bench``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def emit_report(name: str, text: str) -> None:
     """Print a paper-style table and persist it under benchmarks/reports/."""
     print()

@@ -37,7 +37,7 @@ from .analysis import (
     is_query_satisfiable,
     minimize_query,
 )
-from .engine import GTEA, evaluate_gtea
+from .engine import GTEA, QuerySession, evaluate_gtea
 from .graph import DataGraph
 from .query import (
     AttributePredicate,
@@ -57,6 +57,7 @@ __all__ = [
     "GTEA",
     "GTPQ",
     "QueryBuilder",
+    "QuerySession",
     "are_equivalent",
     "build_reachability",
     "evaluate_gtea",

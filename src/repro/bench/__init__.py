@@ -1,5 +1,19 @@
 """Benchmark support (S9 in DESIGN.md)."""
 
-from .harness import AlgorithmSuite, Measurement, format_table, mean
+from .harness import (
+    AlgorithmSuite,
+    Measurement,
+    WarmColdMeasurement,
+    format_table,
+    mean,
+    measure_warm_cold,
+)
 
-__all__ = ["AlgorithmSuite", "Measurement", "format_table", "mean"]
+__all__ = [
+    "AlgorithmSuite",
+    "Measurement",
+    "WarmColdMeasurement",
+    "format_table",
+    "mean",
+    "measure_warm_cold",
+]

@@ -1,0 +1,98 @@
+"""``repro-bench`` — command-line front end for the bench harness.
+
+Subcommands:
+
+* ``session-cache`` — the warm-vs-cold session comparison of
+  ``benchmarks/bench_session_cache.py`` on a generated XMark-like graph;
+* ``stats`` — dataset statistics (Table 1 style) for a generated graph.
+
+Installed as a console script by ``pip install .``; run ``repro-bench
+--help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..datasets import fig7_query, generate_xmark
+from ..graph import graph_stats
+from ..reachability import select_auto_index
+from .harness import format_table, measure_warm_cold
+
+
+def _build_workload(repeats: int):
+    """Fig. 7 queries, repeated — the heavy-repeated-traffic shape."""
+    variants = [
+        fig7_query("q1", person_group=2, item_group=4, seller_group=6),
+        fig7_query("q2", person_group=2, item_group=4, seller_group=6),
+        fig7_query("q3", person_group=2, item_group=4, seller_group=6),
+    ]
+    return [variants[i % len(variants)] for i in range(repeats * len(variants))]
+
+
+def _cmd_session_cache(args: argparse.Namespace) -> int:
+    if args.repeats < 1:
+        print("repro-bench: error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    dataset = generate_xmark(scale=args.scale, seed=args.seed)
+    workload = _build_workload(args.repeats)
+    try:
+        measurement = measure_warm_cold(dataset.graph, workload, index=args.index)
+    except ValueError as error:  # e.g. an unknown --index name
+        print(f"repro-bench: error: {error}", file=sys.stderr)
+        return 2
+    row = measurement.row()
+    print(format_table(
+        f"QuerySession warm vs cold ({len(workload)} queries, "
+        f"XMark scale {args.scale})",
+        list(row),
+        [list(row.values())],
+    ))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = generate_xmark(scale=args.scale, seed=args.seed)
+    stats = graph_stats(dataset.graph)
+    row = stats.row()
+    row["auto_index"] = select_auto_index(stats)
+    print(format_table(
+        f"XMark-like dataset, scale {args.scale}",
+        list(row),
+        [list(row.values())],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark harness for the GTPQ/GTEA reproduction.",
+    )
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="XMark scale factor (default 0.05)")
+    parser.add_argument("--seed", type=int, default=97)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    session = subparsers.add_parser(
+        "session-cache", help="warm-vs-cold QuerySession comparison"
+    )
+    session.add_argument("--repeats", type=int, default=5,
+                         help="repetitions of the Fig. 7 query triple")
+    session.add_argument("--index", default="auto",
+                         help="reachability index name (default: auto)")
+    session.set_defaults(func=_cmd_session_cache)
+
+    stats = subparsers.add_parser("stats", help="dataset statistics")
+    stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,7 @@ from ..baselines import (
     TwigStackD,
     decompose_at_cross_edges,
 )
-from ..engine import GTEA
+from ..engine import GTEA, QuerySession
 from ..engine.stats import EvaluationStats
 from ..graph.digraph import DataGraph
 from ..query.gtpq import GTPQ
@@ -131,6 +131,78 @@ class AlgorithmSuite:
             count = len(answer)
             flat = answer
         return Measurement(algorithm, elapsed, count, stats, flat)
+
+
+@dataclass
+class WarmColdMeasurement:
+    """Warm-vs-cold comparison of a repeated workload on one graph.
+
+    ``cold_seconds`` is the wall time of serving the workload through a
+    session whose result cache is disabled (plan/candidate caches start
+    empty too), ``warm_seconds`` the time of the *second* pass over an
+    identical session with every cache enabled and primed by a first
+    pass.  ``stats`` is the aggregate of the warm pass, so the cache
+    hit counters quantify where the speedup comes from.
+    """
+
+    cold_seconds: float
+    warm_seconds: float
+    queries: int
+    stats: EvaluationStats
+
+    @property
+    def speedup(self) -> float:
+        return self.cold_seconds / self.warm_seconds if self.warm_seconds else 0.0
+
+    def row(self) -> dict[str, float]:
+        return {
+            "queries": self.queries,
+            "cold_ms": self.cold_seconds * 1e3,
+            "warm_ms": self.warm_seconds * 1e3,
+            "speedup": self.speedup,
+            "result_hits": self.stats.result_cache_hits,
+            "candidate_hits": self.stats.candidate_cache_hits,
+            "plan_hits": self.stats.plan_cache_hits,
+        }
+
+
+def measure_warm_cold(
+    graph: DataGraph,
+    queries: list[GTPQ],
+    index: str = "auto",
+) -> WarmColdMeasurement:
+    """Serve ``queries`` cold and warm through :class:`QuerySession`.
+
+    Index construction happens outside both measured regions (indexes are
+    query-independent, following the paper's timing discipline); the
+    comparison isolates what the session's caches buy on repeated
+    traffic.
+    """
+    cold_session = QuerySession(
+        graph,
+        index=index,
+        plan_cache_size=0,
+        candidate_cache_size=0,
+        result_cache_size=0,
+    )
+    cold_session.engine()  # build the index outside the measured region
+    started = time.perf_counter()
+    for query in queries:
+        cold_session.evaluate(query)
+    cold_seconds = time.perf_counter() - started
+
+    warm_session = QuerySession(graph, index=index)
+    warm_session.engine()
+    warm_session.evaluate_many(queries)  # priming pass
+    started = time.perf_counter()
+    batch = warm_session.evaluate_many(queries)
+    warm_seconds = time.perf_counter() - started
+    return WarmColdMeasurement(
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        queries=len(queries),
+        stats=batch.stats,
+    )
 
 
 def format_table(

@@ -1,17 +1,37 @@
-"""GTEA evaluation engine (S6 in DESIGN.md) — the paper's Section 4."""
+"""GTEA evaluation engine (S6 in DESIGN.md) — the paper's Section 4.
 
+Two entry points:
+
+* :class:`GTEA` — one evaluator over one graph.  Accepts any registered
+  reachability index, including ``index="auto"`` (cost-based selection
+  from graph statistics); the 3-hop index gets the paper's chain/contour
+  pruning fast path, every other index the generic fallback.
+* :class:`QuerySession` — a serving layer above :class:`GTEA`: a pool of
+  lazily built indexes plus plan/candidate/result caches keyed by
+  canonical query fingerprints, with batch evaluation
+  (:meth:`QuerySession.evaluate_many`) that deduplicates repeated
+  queries.  Use it whenever more than one query hits the same graph.
+"""
+
+from .cache import CacheCounters, LRUCache
 from .gtea import GTEA, evaluate_gtea
 from .matching_graph import MatchingGraph, build_matching_graph
 from .prime import compute_prime_subtree, shrink_prime_subtree
 from .prune import PruningContext, prune_downward, prune_upward
 from .results import collect_results
+from .session import BatchResult, QueryPlan, QuerySession
 from .stats import EvaluationStats
 
 __all__ = [
-    "GTEA",
+    "BatchResult",
+    "CacheCounters",
     "EvaluationStats",
+    "GTEA",
+    "LRUCache",
     "MatchingGraph",
     "PruningContext",
+    "QueryPlan",
+    "QuerySession",
     "build_matching_graph",
     "collect_results",
     "compute_prime_subtree",

@@ -17,6 +17,8 @@ Usage::
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ..graph.digraph import DataGraph
 from ..query.gtpq import GTPQ
 from ..query.naive import candidate_nodes
@@ -45,7 +47,12 @@ class GTEA:
     ):
         """Args:
             graph: the data graph.
-            index: reachability index name (GTEA requires ``"3hop"``).
+            index: reachability index name, or ``"auto"`` for the
+                cost-based choice of
+                :func:`repro.reachability.factory.select_auto_index`.
+                The 3-hop index enables the paper's chain/contour pruning
+                fast path; any other index runs through the generic
+                set-reachability fallback in :mod:`repro.engine.prune`.
             reachability: pre-built reachability service to reuse.
         """
         self.graph = graph
@@ -66,6 +73,7 @@ class GTEA:
         query: GTPQ,
         group_nodes: tuple[str, ...] = (),
         output_structures: list[list[str]] | None = None,
+        candidate_provider: Callable[[GTPQ, str], list[int]] | None = None,
     ) -> tuple[ResultSet | dict[int, ResultSet], EvaluationStats]:
         """Evaluate with counters (Appendix C.1 metrics).
 
@@ -75,6 +83,10 @@ class GTEA:
             output_structures: optional list of alternative output-node
                 lists (Appendix D); when given, the result is a dict
                 mapping the structure's position to its answer set.
+            candidate_provider: optional ``(query, node_id) -> mat(u)``
+                source for candidate sets; defaults to a fresh
+                :func:`~repro.query.naive.candidate_nodes` scan.  The
+                session layer injects its shared candidate cache here.
         """
         stats = EvaluationStats()
         reach = self.reachability
@@ -84,7 +96,10 @@ class GTEA:
         with stats.time_phase("candidates"):
             mats: MatSets = {}
             for node_id in query.nodes:
-                mats[node_id] = candidate_nodes(self.graph, query, node_id)
+                if candidate_provider is not None:
+                    mats[node_id] = list(candidate_provider(query, node_id))
+                else:
+                    mats[node_id] = candidate_nodes(self.graph, query, node_id)
                 stats.candidates_initial[node_id] = len(mats[node_id])
             stats.input_nodes = sum(stats.candidates_initial.values())
 

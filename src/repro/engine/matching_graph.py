@@ -100,6 +100,9 @@ def _ad_edges(
     optimization the paper describes for reusing PruneUpward's technique).
     """
     index, reach = context.index, context.reach
+    if index is None:
+        _ad_edges_generic(context, result, parent_id, child_id, mats)
+        return
     cover = index.cover
     by_component: dict[int, list[int]] = {}
     for candidate in mats[child_id]:
@@ -133,3 +136,32 @@ def _ad_edges(
                     confirmed = True
                     targets.extend(by_component[component])
         result.branches.setdefault((parent_id, source), {})[child_id] = targets
+
+
+def _ad_edges_generic(
+    context: PruningContext, result: MatchingGraph, parent_id, child_id, mats
+) -> None:
+    """AD edge matches via plain index probes (non-3-hop indexes).
+
+    Target lists are memoized per source component — all sources in one
+    component strictly reach the same candidates.
+    """
+    reach = context.reach
+    dag_index = reach.index
+    by_component: dict[int, list[int]] = {}
+    for candidate in mats[child_id]:
+        by_component.setdefault(reach.component_of(candidate), []).append(candidate)
+    targets_of: dict[int, list[int]] = {}
+    for source in mats[parent_id]:
+        source_component = reach.component_of(source)
+        targets = targets_of.get(source_component)
+        if targets is None:
+            targets = []
+            for component, members in by_component.items():
+                if component == source_component:
+                    if reach.is_cyclic_component(component):
+                        targets.extend(members)
+                elif dag_index.reaches(source_component, component):
+                    targets.extend(members)
+            targets_of[source_component] = targets
+        result.branches.setdefault((parent_id, source), {})[child_id] = list(targets)

@@ -35,24 +35,48 @@ MatSets = dict[str, list[int]]
 
 
 class PruningContext:
-    """Shared state between the two pruning rounds."""
+    """Shared state between the two pruning rounds.
+
+    The chain/contour machinery (Section 4.2) applies when the reachability
+    service is backed by the 3-hop index; :attr:`index` then holds it.  Any
+    other :class:`~repro.reachability.base.DagIndex` works too — the
+    pruning passes fall back to memoized set-reachability probes against
+    the generic ``reaches`` interface (the paper's "flexible for our
+    framework to use other labeling schemes" remark, Section 4.1).
+    """
 
     def __init__(self, graph: DataGraph, query: GTPQ, reach: GraphReachability):
-        if not isinstance(reach.index, ThreeHopIndex):
-            raise TypeError(
-                "GTEA pruning requires the 3-hop index "
-                f"(got {type(reach.index).__name__}); see build_reachability()"
-            )
         self.graph = graph
         self.query = query
         self.reach = reach
-        self.index: ThreeHopIndex = reach.index
+        #: the 3-hop index when available, else None (generic fallback).
+        self.index: ThreeHopIndex | None = (
+            reach.index if isinstance(reach.index, ThreeHopIndex) else None
+        )
         self.pred_contours: dict[str, Contour] = {}
 
     def dag_images(self, nodes: list[int]) -> list[int]:
         """Distinct DAG components of a set of data nodes."""
         scc_of = self.reach.condensation.scc_of
         return sorted({scc_of[node] for node in nodes})
+
+    def component_reaches_any(
+        self, component: int, target_components: list[int]
+    ) -> bool:
+        """Generic strict set-reachability: ``component`` to any target.
+
+        Cyclic same-component hits are included (a node of a cyclic
+        component strictly reaches every node of it).  Used by the
+        fallback paths when :attr:`index` is None.
+        """
+        dag_index = self.reach.index
+        for target in target_components:
+            if target == component:
+                if self.reach.is_cyclic_component(component):
+                    return True
+            elif dag_index.reaches(component, target):
+                return True
+        return False
 
 
 def prune_downward(context: PruningContext, mats: MatSets) -> MatSets:
@@ -74,7 +98,8 @@ def prune_downward(context: PruningContext, mats: MatSets) -> MatSets:
                 context, node_id, mats[node_id], refined
             )
         needs_contour = (
-            node_id != query.root
+            index is not None
+            and node_id != query.root
             and query.edge_type(node_id) is EdgeType.DESCENDANT
         )
         if needs_contour:
@@ -111,7 +136,9 @@ def _filter_downward(
     # The chain-shared contour machinery only pays off when there are AD
     # children to valuate; PC-only nodes (common in XMark patterns) skip
     # it entirely.
-    if ad_children:
+    if not ad_children:
+        ad_valuations = {}
+    elif context.index is not None:
         ad_valuations = _ad_valuations_by_component(
             context,
             candidates,
@@ -119,7 +146,9 @@ def _filter_downward(
             {c: refined[c] for c in ad_children},
         )
     else:
-        ad_valuations = {}
+        ad_valuations = _ad_valuations_generic(
+            context, candidates, {c: refined[c] for c in ad_children}
+        )
 
     survivors: list[int] = []
     for candidate in candidates:
@@ -130,6 +159,30 @@ def _filter_downward(
         if evaluate(fext, valuation, default=False):
             survivors.append(candidate)
     return survivors
+
+
+def _ad_valuations_generic(
+    context: PruningContext,
+    candidates: list[int],
+    child_mats: dict[str, list[int]],
+) -> dict[int, dict[str, bool]]:
+    """AD child valuations via plain index probes (non-3-hop indexes).
+
+    One valuation per DAG component, as in the chain-shared variant, but
+    each bit is decided by probing ``reaches`` against the child's
+    component set directly.
+    """
+    child_components = {
+        child_id: context.dag_images(nodes)
+        for child_id, nodes in child_mats.items()
+    }
+    result: dict[int, dict[str, bool]] = {}
+    for component in {context.reach.component_of(c) for c in candidates}:
+        result[component] = {
+            child_id: context.component_reaches_any(component, components)
+            for child_id, components in child_components.items()
+        }
+    return result
 
 
 def _ad_valuations_by_component(
@@ -222,10 +275,12 @@ def prune_upward(
         parent_nodes = refined[node_id]
         parent_components = context.dag_images(parent_nodes)
         parent_component_set = set(parent_components)
-        contour = succ_contours.get(node_id)
-        if contour is None:
-            contour = merge_succ_lists(index, parent_components)
-            succ_contours[node_id] = contour
+        contour: Contour | None = None
+        if index is not None:
+            contour = succ_contours.get(node_id)
+            if contour is None:
+                contour = merge_succ_lists(index, parent_components)
+                succ_contours[node_id] = contour
         parent_data_set = set(parent_nodes)
         for child_id in children:
             if query.edge_type(child_id) is EdgeType.CHILD:
@@ -237,14 +292,48 @@ def prune_upward(
                         for p in graph.predecessors(candidate)
                     )
                 ]
-            else:
+            elif index is not None:
                 refined[child_id] = _filter_upward_ad(
                     context, refined[child_id], contour, parent_component_set
                 )
-            succ_contours[child_id] = merge_succ_lists(
-                index, context.dag_images(refined[child_id])
-            )
+            else:
+                refined[child_id] = _filter_upward_ad_generic(
+                    context, refined[child_id], parent_components
+                )
+            if index is not None:
+                succ_contours[child_id] = merge_succ_lists(
+                    index, context.dag_images(refined[child_id])
+                )
     return refined
+
+
+def _filter_upward_ad_generic(
+    context: PruningContext,
+    candidates: list[int],
+    parent_components: list[int],
+) -> list[int]:
+    """Generic upward AD filter: keep candidates some parent reaches.
+
+    Memoized per DAG component; probes the index's plain ``reaches``.
+    """
+    reach = context.reach
+    dag_index = reach.index
+    reached: dict[int, bool] = {}
+    survivors: list[int] = []
+    for candidate in candidates:
+        component = reach.component_of(candidate)
+        hit = reached.get(component)
+        if hit is None:
+            hit = any(
+                dag_index.reaches(parent, component)
+                if parent != component
+                else reach.is_cyclic_component(component)
+                for parent in parent_components
+            )
+            reached[component] = hit
+        if hit:
+            survivors.append(candidate)
+    return survivors
 
 
 def _filter_upward_ad(

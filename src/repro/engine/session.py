@@ -1,0 +1,377 @@
+"""Query sessions: index pooling, caching, and batch evaluation.
+
+The paper's GTEA engine assumes a query-independent reachability index
+built once and amortized over many queries (Section 4.1).  A
+:class:`QuerySession` takes that idea to a serving setting: it owns one
+data graph plus a lazily built pool of reachability indexes, and reuses
+three kinds of evaluation artifacts across queries:
+
+* a **plan cache** — parsed/analyzed queries keyed by the canonical
+  fingerprint of :func:`repro.query.serialize.query_fingerprint`, so JSON
+  workloads and repeated query objects skip re-parsing and re-analysis;
+* a **candidate cache** — ``mat(u)`` sets keyed by the node's attribute
+  predicate (:func:`repro.query.serialize.predicate_key`), shared across
+  *different* queries whose nodes carry overlapping predicates;
+* a **result cache** — full answer sets per ``(fingerprint, group
+  nodes)``, invalidated when the graph mutates.
+
+Staleness is detected through :attr:`repro.graph.digraph.DataGraph.version`:
+any ``add_node``/``add_edge`` after session creation invalidates every
+cache and index on the next use.  Cache activity is surfaced through the
+``*_cache_hits``/``*_cache_misses`` counters of
+:class:`~repro.engine.stats.EvaluationStats`, next to the paper's I/O
+metrics.
+
+Usage::
+
+    session = QuerySession(graph)             # index="auto"
+    answer = session.evaluate(query)          # cold: evaluates + caches
+    answer = session.evaluate(query)          # warm: result-cache hit
+    batch = session.evaluate_many(queries)    # deduplicates fingerprints
+    batch.stats.result_cache_hits             # aggregate counters
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..graph.digraph import DataGraph
+from ..query.gtpq import GTPQ
+from ..query.naive import candidate_nodes
+from ..query.serialize import (
+    predicate_key,
+    query_fingerprint,
+    query_from_dict,
+    query_from_json,
+)
+from ..reachability.base import GraphReachability
+from ..reachability.factory import build_reachability, resolve_index
+from .cache import LRUCache
+from .gtea import GTEA
+from .results import ResultSet
+from .stats import EvaluationStats
+
+#: anything :meth:`QuerySession.evaluate` accepts as a query.
+QueryLike = GTPQ | dict | str
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A parsed and analyzed query, ready for repeated evaluation.
+
+    Attributes:
+        query: the parsed :class:`~repro.query.gtpq.GTPQ`.
+        fingerprint: canonical content hash (the plan-cache key).
+        predicate_keys: per query node, the candidate-cache key of its
+            attribute predicate.
+        is_conjunctive: cached conjunctivity analysis (baseline routing).
+    """
+
+    query: GTPQ
+    fingerprint: str
+    predicate_keys: dict[str, str]
+    is_conjunctive: bool
+
+
+@dataclass
+class BatchResult:
+    """Outcome of :meth:`QuerySession.evaluate_many`.
+
+    Attributes:
+        results: one answer set per input query, in input order.
+        stats: aggregate :class:`~repro.engine.stats.EvaluationStats`
+            across the whole batch, including cache counters and the
+            ``batch_queries`` / ``batch_unique_queries`` dedup accounting.
+        fingerprints: the canonical fingerprint of each input query.
+    """
+
+    results: list[ResultSet]
+    stats: EvaluationStats
+    fingerprints: list[str]
+
+
+class QuerySession:
+    """A long-lived evaluation context over one data graph.
+
+    Args:
+        graph: the data graph to serve queries against.
+        index: default reachability index name, or ``"auto"`` (default)
+            for the cost-based pick of
+            :func:`repro.reachability.factory.select_auto_index`.
+        plan_cache_size: LRU capacity of the plan cache.
+        candidate_cache_size: LRU capacity of the shared ``mat(u)`` cache
+            (entries are predicates, not queries).
+        result_cache_size: LRU capacity of the full-result cache.  Pass
+            ``0`` to disable result caching (candidate and plan reuse
+            still apply) — useful for cold-path measurements.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        index: str = "auto",
+        *,
+        plan_cache_size: int = 256,
+        candidate_cache_size: int = 4096,
+        result_cache_size: int = 1024,
+    ):
+        self.graph = graph
+        self.default_index = index
+        self.plan_cache = LRUCache(plan_cache_size)
+        self.candidate_cache = LRUCache(candidate_cache_size)
+        self.result_cache = LRUCache(result_cache_size)
+        self._reach_pool: dict[str, GraphReachability] = {}
+        self._engines: dict[str, GTEA] = {}
+        self._resolved_auto: str | None = None
+        self._graph_version = graph.version
+
+    # ------------------------------------------------------------------
+    # Index pool
+    # ------------------------------------------------------------------
+    @property
+    def resolved_index(self) -> str:
+        """The concrete index name the default engine uses."""
+        self._ensure_fresh()
+        return self._resolve(self.default_index)
+
+    def _resolve(self, index: str) -> str:
+        if index != "auto":
+            return resolve_index(self.graph, index)
+        if self._resolved_auto is None:
+            self._resolved_auto = resolve_index(self.graph, "auto")
+        return self._resolved_auto
+
+    def reachability(self, index: str | None = None) -> GraphReachability:
+        """The pooled reachability service for ``index`` (built lazily)."""
+        self._ensure_fresh()
+        name = self._resolve(index or self.default_index)
+        service = self._reach_pool.get(name)
+        if service is None:
+            service = build_reachability(self.graph, name)
+            self._reach_pool[name] = service
+        return service
+
+    def engine(self, index: str | None = None) -> GTEA:
+        """The pooled :class:`~repro.engine.gtea.GTEA` for ``index``."""
+        self._ensure_fresh()
+        name = self._resolve(index or self.default_index)
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = GTEA(self.graph, reachability=self.reachability(name))
+            self._engines[name] = engine
+        return engine
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cache and pooled index.
+
+        Called automatically when :attr:`DataGraph.version` moves (the
+        graph gained nodes or edges); call it explicitly after in-place
+        attribute mutations, which the version counter cannot see.
+        """
+        self.plan_cache.clear()
+        self.candidate_cache.clear()
+        self.result_cache.clear()
+        self._reach_pool.clear()
+        self._engines.clear()
+        self._resolved_auto = None
+        self._graph_version = self.graph.version
+
+    def _ensure_fresh(self) -> None:
+        if self.graph.version != self._graph_version:
+            self.invalidate()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, query: QueryLike) -> QueryPlan:
+        """Parse/analyze ``query`` through the plan cache.
+
+        Accepts a :class:`~repro.query.gtpq.GTPQ`, a dictionary in the
+        :func:`~repro.query.serialize.query_to_dict` format, or its JSON
+        text.  Serialized inputs are additionally keyed by their raw
+        content hash, so a repeated JSON query skips parsing entirely.
+        """
+        self._ensure_fresh()
+        return self._plan_for(query)
+
+    def _plan_for(self, query: QueryLike) -> QueryPlan:
+        # One planning operation counts exactly one plan-cache hit or miss,
+        # even though serialized inputs probe two keys (raw-content alias
+        # first, canonical fingerprint second) — hence peek() + manual
+        # accounting instead of get().
+        counters = self.plan_cache.counters
+        alias: str | None = None
+        if isinstance(query, GTPQ):
+            parsed = query
+        elif isinstance(query, str):
+            alias = "json:" + hashlib.sha256(query.encode("utf-8")).hexdigest()
+            cached = self.plan_cache.peek(alias)
+            if cached is not None:
+                counters.hits += 1
+                return cached
+            parsed = query_from_json(query)
+        elif isinstance(query, dict):
+            payload = json.dumps(query, sort_keys=True, default=str)
+            alias = "dict:" + hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            cached = self.plan_cache.peek(alias)
+            if cached is not None:
+                counters.hits += 1
+                return cached
+            parsed = query_from_dict(query)
+        else:
+            raise TypeError(
+                f"cannot plan a {type(query).__name__}; expected GTPQ, dict, or JSON str"
+            )
+        fingerprint = query_fingerprint(parsed)
+        plan = self.plan_cache.peek(fingerprint)
+        if plan is None:
+            counters.misses += 1
+            plan = QueryPlan(
+                query=parsed,
+                fingerprint=fingerprint,
+                predicate_keys={
+                    node_id: predicate_key(parsed.attribute(node_id))
+                    for node_id in parsed.nodes
+                },
+                is_conjunctive=parsed.is_conjunctive(),
+            )
+            self.plan_cache.put(fingerprint, plan)
+        else:
+            counters.hits += 1
+        if alias is not None:
+            self.plan_cache.put(alias, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, query: QueryLike, group_nodes: Sequence[str] = ()
+    ) -> ResultSet:
+        """Evaluate ``query``, reusing every applicable cache."""
+        results, _ = self.evaluate_with_stats(query, group_nodes)
+        return results
+
+    def evaluate_with_stats(
+        self, query: QueryLike, group_nodes: Sequence[str] = ()
+    ) -> tuple[ResultSet, EvaluationStats]:
+        """Evaluate with counters; cache activity lands in the stats."""
+        self._ensure_fresh()
+        plan_hits = self.plan_cache.counters.hits
+        plan_misses = self.plan_cache.counters.misses
+        plan = self._plan_for(query)
+        results, stats = self._evaluate_plan(plan, tuple(group_nodes))
+        stats.plan_cache_hits += self.plan_cache.counters.hits - plan_hits
+        stats.plan_cache_misses += self.plan_cache.counters.misses - plan_misses
+        return results, stats
+
+    def _evaluate_plan(
+        self, plan: QueryPlan, group_nodes: tuple[str, ...]
+    ) -> tuple[ResultSet, EvaluationStats]:
+        result_key = (plan.fingerprint, group_nodes)
+        cached = self.result_cache.get(result_key)
+        if cached is not None:
+            stats = EvaluationStats()
+            stats.result_cache_hits = 1
+            stats.result_count = len(cached)
+            return set(cached), stats
+
+        candidate_counters = self.candidate_cache.counters
+        hits, misses = candidate_counters.hits, candidate_counters.misses
+        results, stats = self.engine().evaluate_with_stats(
+            plan.query,
+            group_nodes=group_nodes,
+            candidate_provider=self._candidate_provider(plan),
+        )
+        stats.result_cache_misses = 1
+        stats.candidate_cache_hits = candidate_counters.hits - hits
+        stats.candidate_cache_misses = candidate_counters.misses - misses
+        self.result_cache.put(result_key, frozenset(results))
+        return results, stats
+
+    def _candidate_provider(self, plan: QueryPlan):
+        """A ``(query, node_id) -> mat(u)`` source backed by the cache."""
+
+        def provider(query: GTPQ, node_id: str) -> list[int]:
+            key = plan.predicate_keys[node_id]
+            nodes = self.candidate_cache.get(key)
+            if nodes is None:
+                nodes = tuple(candidate_nodes(self.graph, query, node_id))
+                self.candidate_cache.put(key, nodes)
+            return list(nodes)
+
+        return provider
+
+    # ------------------------------------------------------------------
+    # Batch evaluation
+    # ------------------------------------------------------------------
+    def evaluate_many(
+        self,
+        queries: Iterable[QueryLike],
+        group_nodes: Sequence[str] = (),
+    ) -> BatchResult:
+        """Evaluate a workload, deduplicating repeated queries.
+
+        Queries are planned first (one plan per distinct fingerprint),
+        each *unique* fingerprint is evaluated once — through the result
+        cache, so a warm session may evaluate nothing at all — and the
+        answers are fanned back out to input order.  Candidate fetching is
+        shared across the whole batch via the predicate-keyed cache.
+        """
+        self._ensure_fresh()
+        group_key = tuple(group_nodes)
+        plan_counters = self.plan_cache.counters
+        plan_hits, plan_misses = plan_counters.hits, plan_counters.misses
+        plans = [self._plan_for(query) for query in queries]
+
+        unique: dict[str, QueryPlan] = {}
+        for plan in plans:
+            unique.setdefault(plan.fingerprint, plan)
+
+        answers: dict[str, ResultSet] = {}
+        per_query_stats: list[EvaluationStats] = []
+        for fingerprint, plan in unique.items():
+            results, stats = self._evaluate_plan(plan, group_key)
+            answers[fingerprint] = results
+            per_query_stats.append(stats)
+
+        aggregate = EvaluationStats.aggregate(per_query_stats)
+        aggregate.plan_cache_hits += plan_counters.hits - plan_hits
+        aggregate.plan_cache_misses += plan_counters.misses - plan_misses
+        aggregate.batch_queries = len(plans)
+        aggregate.batch_unique_queries = len(unique)
+        return BatchResult(
+            results=[set(answers[plan.fingerprint]) for plan in plans],
+            stats=aggregate,
+            fingerprints=[plan.fingerprint for plan in plans],
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict[str, dict[str, int]]:
+        """Counter snapshots and sizes of every session cache."""
+        return {
+            "plan": {**self.plan_cache.counters.snapshot(), "size": len(self.plan_cache)},
+            "candidate": {
+                **self.candidate_cache.counters.snapshot(),
+                "size": len(self.candidate_cache),
+            },
+            "result": {
+                **self.result_cache.counters.snapshot(),
+                "size": len(self.result_cache),
+            },
+            "indexes": {"pooled": len(self._reach_pool)},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySession(graph={self.graph!r}, index={self.default_index!r}, "
+            f"pooled={sorted(self._reach_pool)})"
+        )

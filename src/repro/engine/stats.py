@@ -31,6 +31,23 @@ class EvaluationStats:
     candidates_after_downward: dict[str, int] = field(default_factory=dict)
     candidates_after_upward: dict[str, int] = field(default_factory=dict)
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    # ------------------------------------------------------------------
+    # Session-layer counters (repro.engine.session).  All zero when the
+    # engine runs outside a QuerySession, so the paper metrics above are
+    # unaffected.
+    # ------------------------------------------------------------------
+    #: evaluations folded into this stats object (aggregates only; a
+    #: single evaluation leaves it at 0 and reads as one evaluation).
+    evaluations: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    candidate_cache_hits: int = 0
+    candidate_cache_misses: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    #: batch accounting of :meth:`QuerySession.evaluate_many`.
+    batch_queries: int = 0
+    batch_unique_queries: int = 0
 
     @property
     def intermediate_cost(self) -> int:
@@ -44,18 +61,74 @@ class EvaluationStats:
             self.intermediate_tuples
         )
 
+    @property
+    def cache_hits(self) -> int:
+        """Total hits across the plan/candidate/result caches."""
+        return (
+            self.plan_cache_hits
+            + self.candidate_cache_hits
+            + self.result_cache_hits
+        )
+
+    @property
+    def cache_misses(self) -> int:
+        """Total misses across the plan/candidate/result caches."""
+        return (
+            self.plan_cache_misses
+            + self.candidate_cache_misses
+            + self.result_cache_misses
+        )
+
     def time_phase(self, name: str):
         """Context manager accumulating wall time into ``phase_seconds``."""
         return _PhaseTimer(self, name)
 
+    def merge(self, other: "EvaluationStats") -> None:
+        """Fold ``other`` into this object (used by batch aggregation).
+
+        Scalar counters add up; phase timings accumulate by name; the
+        per-query-node candidate breakdowns are dropped (they are not
+        meaningful across different queries).
+        """
+        self.input_nodes += other.input_nodes
+        self.index_lookups += other.index_lookups
+        self.index_entries += other.index_entries
+        self.matching_graph_nodes += other.matching_graph_nodes
+        self.matching_graph_edges += other.matching_graph_edges
+        self.intermediate_tuples += other.intermediate_tuples
+        self.result_count += other.result_count
+        self.evaluations += max(other.evaluations, 1)
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
+        self.candidate_cache_hits += other.candidate_cache_hits
+        self.candidate_cache_misses += other.candidate_cache_misses
+        self.result_cache_hits += other.result_cache_hits
+        self.result_cache_misses += other.result_cache_misses
+        self.batch_queries += other.batch_queries
+        self.batch_unique_queries += other.batch_unique_queries
+        for name, seconds in other.phase_seconds.items():
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    @classmethod
+    def aggregate(cls, many: "list[EvaluationStats]") -> "EvaluationStats":
+        """Sum a list of stats into one aggregate (see :meth:`merge`)."""
+        total = cls()
+        for stats in many:
+            total.merge(stats)
+        return total
+
     def row(self) -> dict[str, float]:
-        return {
+        row = {
             "#input": self.input_nodes,
             "#index": self.index_entries,
             "#intermediate": self.intermediate_cost,
             "results": self.result_count,
             **{f"t_{k}": round(v, 6) for k, v in self.phase_seconds.items()},
         }
+        if self.cache_hits or self.cache_misses:
+            row["cache_hits"] = self.cache_hits
+            row["cache_misses"] = self.cache_misses
+        return row
 
 
 class _PhaseTimer:

@@ -24,7 +24,7 @@ class DataGraph:
     descendant under the paper's nonempty-path AD semantics).
     """
 
-    __slots__ = ("_attrs", "_succ", "_pred", "_edge_count", "_label_index")
+    __slots__ = ("_attrs", "_succ", "_pred", "_edge_count", "_label_index", "_version")
 
     def __init__(self):
         self._attrs: list[dict[str, Any]] = []
@@ -32,6 +32,19 @@ class DataGraph:
         self._pred: list[list[int]] = []
         self._edge_count = 0
         self._label_index: dict[Any, list[int]] | None = None
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Incremented by every :meth:`add_node` / :meth:`add_edge`, so derived
+        structures (reachability indexes, the session caches of
+        :mod:`repro.engine.session`) can detect staleness cheaply.  Direct
+        mutation of an attribute dictionary obtained from :meth:`attrs` is
+        *not* tracked.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction
@@ -51,6 +64,7 @@ class DataGraph:
         self._succ.append([])
         self._pred.append([])
         self._label_index = None
+        self._version += 1
         return len(self._attrs) - 1
 
     def add_edge(self, source: int, target: int) -> bool:
@@ -62,6 +76,7 @@ class DataGraph:
         self._succ[source].append(target)
         self._pred[target].append(source)
         self._edge_count += 1
+        self._version += 1
         return True
 
     @classmethod

@@ -4,7 +4,15 @@ from .attribute import AttributePredicate
 from .builder import QueryBuilder
 from .gtpq import GTPQ, EdgeType, QueryNode, QueryValidationError
 from .naive import ResultSet, candidate_nodes, downward_match_sets, evaluate_naive
-from .serialize import query_from_dict, query_from_json, query_to_dict, query_to_json
+from .serialize import (
+    canonical_query_dict,
+    predicate_key,
+    query_fingerprint,
+    query_from_dict,
+    query_from_json,
+    query_to_dict,
+    query_to_json,
+)
 from .xpath import XPathSyntaxError, parse_xpath_query
 
 __all__ = [
@@ -18,8 +26,11 @@ __all__ = [
     "ResultSet",
     "candidate_nodes",
     "downward_match_sets",
+    "canonical_query_dict",
     "evaluate_naive",
     "parse_xpath_query",
+    "predicate_key",
+    "query_fingerprint",
     "query_from_dict",
     "query_from_json",
     "query_to_dict",

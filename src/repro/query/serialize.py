@@ -1,15 +1,25 @@
-"""GTPQ (de)serialization to plain dictionaries / JSON.
+"""GTPQ (de)serialization to plain dictionaries / JSON, plus fingerprints.
 
 Workload files in :mod:`repro.datasets` and the examples use this format;
 formulas round-trip through the text parser.
+
+Fingerprints (:func:`query_fingerprint`, :func:`predicate_key`) are stable
+content hashes used as cache keys by :class:`repro.engine.session.QuerySession`:
+two queries that serialize to the same canonical form — regardless of node
+insertion order or a round trip through :func:`query_to_dict` /
+:func:`query_from_dict` — share one fingerprint.  Output order is part of
+the fingerprint (it determines result-tuple column order); sibling order
+is not.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
 from ..logic import parse_formula
+from ..logic.formula import And, Const, Formula, Not, Or, Var
 from .attribute import AttributePredicate
 from .builder import QueryBuilder
 from .gtpq import GTPQ
@@ -63,3 +73,84 @@ def query_to_json(query: GTPQ, **dumps_kwargs) -> str:
 
 def query_from_json(text: str) -> GTPQ:
     return query_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Canonicalization and fingerprints
+# ----------------------------------------------------------------------
+def _canonical_atoms(predicate: AttributePredicate) -> list[list[str]]:
+    """Sorted, type-tagged atom list (value 5 and value "5" must differ)."""
+    return sorted(
+        [attribute, op, type(value).__name__, repr(value)]
+        for attribute, op, value in predicate.atoms
+    )
+
+
+def _canonical_formula(formula: Formula) -> str:
+    """Order-independent rendering of a structural formula.
+
+    ``And``/``Or`` operands are sorted by their canonical form (the smart
+    constructors already flatten and deduplicate them), so conjunctions
+    and disjunctions built in different operand orders canonicalize
+    identically.  Fingerprinting only — serialization keeps ``str(fs)``.
+    """
+    if isinstance(formula, Var):
+        return formula.name
+    if isinstance(formula, Const):
+        return "1" if formula.value else "0"
+    if isinstance(formula, Not):
+        return f"!({_canonical_formula(formula.child)})"
+    if isinstance(formula, (And, Or)):
+        separator = " & " if isinstance(formula, And) else " | "
+        return "(" + separator.join(
+            sorted(_canonical_formula(child) for child in formula.children)
+        ) + ")"
+    return str(formula)  # future connectives: fall back to display form
+
+
+def predicate_key(predicate: AttributePredicate) -> str:
+    """Stable cache key of an attribute predicate.
+
+    Two query nodes with the same atom set (in any order) share the key —
+    the property the session's candidate-set cache relies on to reuse
+    ``mat(u)`` across queries with overlapping node predicates.
+    """
+    return json.dumps(_canonical_atoms(predicate), separators=(",", ":"))
+
+
+def canonical_query_dict(query: GTPQ) -> dict[str, Any]:
+    """Order-independent description of ``query``.
+
+    Like :func:`query_to_dict`, but nodes are sorted by id and atoms are
+    sorted and type-tagged, so structurally identical queries built with
+    different sibling insertion orders canonicalize identically.
+    """
+    nodes = []
+    for node_id in sorted(query.nodes):
+        node = query.nodes[node_id]
+        entry: dict[str, Any] = {
+            "id": node_id,
+            "kind": "backbone" if node.is_backbone else "predicate",
+            "atoms": _canonical_atoms(node.predicate),
+        }
+        if node_id != query.root:
+            entry["parent"] = query.parent[node_id]
+            entry["edge"] = query.edge_type(node_id).value
+        fs = query.fs(node_id)
+        if fs.variables() or fs.is_constant() and not fs.value:  # non-trivial
+            entry["fs"] = _canonical_formula(fs)
+        nodes.append(entry)
+    return {"nodes": nodes, "outputs": list(query.outputs)}
+
+
+def query_fingerprint(query: GTPQ) -> str:
+    """SHA-256 hex digest of the canonical form of ``query``.
+
+    The session layer keys its plan and result caches on this value; it is
+    stable across processes and across :func:`query_to_dict` /
+    :func:`query_from_dict` round trips.
+    """
+    payload = json.dumps(
+        canonical_query_dict(query), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

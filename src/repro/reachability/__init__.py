@@ -3,20 +3,27 @@
 The paper's evaluation framework is index-agnostic ("flexible for our
 framework to use other labeling schemes", Section 4.1); the default is
 3-hop, with transitive closure as an oracle, SSPI for TwigStackD and the
-Agrawal tree cover for HGJoin.
+Agrawal tree cover for HGJoin.  :func:`build_reachability` accepts
+``index="auto"`` to pick an index from the graph's shape.
 """
 
 from .base import Dag, DagIndex, GraphReachability, IndexCounters
-from .chain_cover import ChainCover, chain_decomposition
+from .chain_cover import ChainCover, ChainCoverIndex, chain_decomposition
 from .contour import (
     Contour,
+    ContourIndex,
     contour_reaches_node,
     merge_pred_lists,
     merge_succ_lists,
     node_reaches_contour,
 )
-from .factory import available_indexes, build_reachability
-from .interval import IntervalLabeling
+from .factory import (
+    available_indexes,
+    build_reachability,
+    resolve_index,
+    select_auto_index,
+)
+from .interval import IntervalIndex, IntervalLabeling
 from .sspi import SSPIIndex
 from .three_hop import ThreeHopIndex
 from .transitive_closure import TransitiveClosureIndex
@@ -24,11 +31,14 @@ from .tree_cover import TreeCoverIndex
 
 __all__ = [
     "ChainCover",
+    "ChainCoverIndex",
     "Contour",
+    "ContourIndex",
     "Dag",
     "DagIndex",
     "GraphReachability",
     "IndexCounters",
+    "IntervalIndex",
     "IntervalLabeling",
     "SSPIIndex",
     "ThreeHopIndex",
@@ -41,4 +51,6 @@ __all__ = [
     "merge_pred_lists",
     "merge_succ_lists",
     "node_reaches_contour",
+    "resolve_index",
+    "select_auto_index",
 ]

@@ -1,11 +1,22 @@
-"""Index factory: build a reachability service by name."""
+"""Index factory: build a reachability service by name, or pick one.
+
+Besides the explicit names, ``index="auto"`` selects an index from the
+shape of the data graph (see :func:`select_auto_index`): the quadratic
+transitive closure where it is trivially affordable, interval labels on
+forests, the tree-cover on near-tree DAGs, and 3-hop — the paper's default
+— everywhere else.
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
 from ..graph.digraph import DataGraph
+from ..graph.stats import GraphStats, graph_stats
 from .base import Dag, DagIndex, GraphReachability
+from .chain_cover import ChainCoverIndex
+from .contour import ContourIndex
+from .interval import IntervalIndex
 from .sspi import SSPIIndex
 from .three_hop import ThreeHopIndex
 from .transitive_closure import TransitiveClosureIndex
@@ -16,12 +27,61 @@ _REGISTRY: dict[str, Callable[[Dag], DagIndex]] = {
     "tc": TransitiveClosureIndex,
     "sspi": SSPIIndex,
     "tree-cover": TreeCoverIndex,
+    "interval": IntervalIndex,
+    "chain-cover": ChainCoverIndex,
+    "contour": ContourIndex,
 }
+
+#: node count up to which the packed-bitset transitive closure is the
+#: obvious winner (O(1) queries; the bit matrix stays under ~32 KiB).
+AUTO_TC_MAX_NODES = 512
+
+#: edge/node ratio under which a DAG counts as "near-tree" for ``auto``.
+AUTO_NEAR_TREE_RATIO = 1.1
 
 
 def available_indexes() -> list[str]:
-    """Names accepted by :func:`build_reachability`."""
+    """Names accepted by :func:`build_reachability` (``"auto"`` excluded)."""
     return sorted(_REGISTRY)
+
+
+def select_auto_index(stats: GraphStats) -> str:
+    """Cost-based index choice from graph statistics alone.
+
+    The heuristic ladder:
+
+    1. tiny graphs — packed transitive closure (quadratic space is noise,
+       queries are one bit probe);
+    2. forests (acyclic, every non-root with exactly one parent) —
+       interval labels, whose containment test is exact there;
+    3. near-tree DAGs (edge count within :data:`AUTO_NEAR_TREE_RATIO` of
+       the node count) — the Agrawal tree cover, which keeps one interval
+       per node on such graphs;
+    4. everything else — 3-hop, the paper's default.
+
+    Cyclic graphs skip the forest/near-tree rungs: the statistics describe
+    the raw graph, not its condensation, so tree-shape evidence is absent.
+    """
+    if stats.num_nodes <= AUTO_TC_MAX_NODES:
+        return "tc"
+    if stats.is_dag:
+        if stats.num_edges == stats.num_nodes - stats.num_roots:
+            return "interval"
+        if stats.num_edges <= AUTO_NEAR_TREE_RATIO * stats.num_nodes:
+            return "tree-cover"
+    return "3hop"
+
+
+def resolve_index(graph: DataGraph, index: str) -> str:
+    """Resolve ``"auto"`` against ``graph``; pass explicit names through."""
+    if index == "auto":
+        return select_auto_index(graph_stats(graph))
+    if index not in _REGISTRY:
+        raise ValueError(
+            f"unknown index {index!r}; available: "
+            f"{', '.join(available_indexes())} (or 'auto')"
+        )
+    return index
 
 
 def build_reachability(graph: DataGraph, index: str = "3hop") -> GraphReachability:
@@ -29,12 +89,9 @@ def build_reachability(graph: DataGraph, index: str = "3hop") -> GraphReachabili
 
     Args:
         graph: the data graph (cyclic graphs are condensed automatically).
-        index: one of :func:`available_indexes` (default the paper's 3-hop).
+        index: one of :func:`available_indexes` (default the paper's
+            3-hop), or ``"auto"`` for the :func:`select_auto_index`
+            heuristic.
     """
-    try:
-        factory = _REGISTRY[index]
-    except KeyError:
-        raise ValueError(
-            f"unknown index {index!r}; available: {', '.join(available_indexes())}"
-        ) from None
+    factory = _REGISTRY[resolve_index(graph, index)]
     return GraphReachability(graph, factory)

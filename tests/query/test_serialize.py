@@ -1,0 +1,109 @@
+"""Serialization round trips and canonical fingerprints."""
+
+from repro.query import (
+    AttributePredicate,
+    QueryBuilder,
+    predicate_key,
+    query_fingerprint,
+    query_from_dict,
+    query_from_json,
+    query_to_dict,
+    query_to_json,
+)
+
+
+def build_query(sibling_order=("p", "q")):
+    builder = (
+        QueryBuilder()
+        .backbone("r", predicate=AttributePredicate.label("a"))
+        .backbone("x", parent="r", predicate=AttributePredicate.label("b"))
+    )
+    for node_id in sibling_order:
+        label = {"p": "c", "q": "d"}[node_id]
+        builder.predicate(
+            node_id, parent="x", predicate=AttributePredicate.label(label)
+        )
+    return builder.structural("x", "p & !q").outputs("r", "x").build()
+
+
+class TestFingerprintStability:
+    def test_round_trip_preserves_fingerprint(self):
+        query = build_query()
+        fingerprint = query_fingerprint(query)
+        assert query_fingerprint(query_from_dict(query_to_dict(query))) == fingerprint
+        assert query_fingerprint(query_from_json(query_to_json(query))) == fingerprint
+
+    def test_sibling_insertion_order_is_canonicalized(self):
+        assert query_fingerprint(build_query(("p", "q"))) == query_fingerprint(
+            build_query(("q", "p"))
+        )
+
+    def test_default_fs_operand_order_is_canonicalized(self):
+        # Without an explicit structural formula the builder derives
+        # fs = conjunction of predicate children in insertion order; the
+        # fingerprint must not depend on that order.
+        def build(order):
+            builder = QueryBuilder().backbone(
+                "r", predicate=AttributePredicate.label("a")
+            )
+            for node_id in order:
+                label = {"p": "c", "q": "d"}[node_id]
+                builder.predicate(
+                    node_id, parent="r", predicate=AttributePredicate.label(label)
+                )
+            return builder.outputs("r").build()
+
+        assert query_fingerprint(build(("p", "q"))) == query_fingerprint(
+            build(("q", "p"))
+        )
+
+    def test_atom_order_is_canonicalized(self):
+        atoms_ab = AttributePredicate([("tag", "=", "a"), ("rank", "<", 3)])
+        atoms_ba = AttributePredicate([("rank", "<", 3), ("tag", "=", "a")])
+        q1 = QueryBuilder().backbone("r", predicate=atoms_ab).outputs("r").build()
+        q2 = QueryBuilder().backbone("r", predicate=atoms_ba).outputs("r").build()
+        assert query_fingerprint(q1) == query_fingerprint(q2)
+        assert predicate_key(atoms_ab) == predicate_key(atoms_ba)
+
+    def test_output_order_is_significant(self):
+        base = build_query()
+        swapped = (
+            QueryBuilder()
+            .backbone("r", predicate=AttributePredicate.label("a"))
+            .backbone("x", parent="r", predicate=AttributePredicate.label("b"))
+            .predicate("p", parent="x", predicate=AttributePredicate.label("c"))
+            .predicate("q", parent="x", predicate=AttributePredicate.label("d"))
+            .structural("x", "p & !q")
+            .outputs("x", "r")
+            .build()
+        )
+        assert query_fingerprint(base) != query_fingerprint(swapped)
+
+    def test_predicate_content_is_significant(self):
+        assert query_fingerprint(build_query()) != query_fingerprint(
+            (
+                QueryBuilder()
+                .backbone("r", predicate=AttributePredicate.label("a"))
+                .backbone("x", parent="r", predicate=AttributePredicate.label("e"))
+                .predicate("p", parent="x", predicate=AttributePredicate.label("c"))
+                .predicate("q", parent="x", predicate=AttributePredicate.label("d"))
+                .structural("x", "p & !q")
+                .outputs("r", "x")
+                .build()
+            )
+        )
+
+    def test_value_types_are_distinguished(self):
+        five_int = AttributePredicate([("rank", "=", 5)])
+        five_str = AttributePredicate([("rank", "=", "5")])
+        assert predicate_key(five_int) != predicate_key(five_str)
+
+
+class TestSerializationRoundTrip:
+    def test_dict_round_trip_preserves_structure(self):
+        query = build_query()
+        rebuilt = query_from_dict(query_to_dict(query))
+        assert rebuilt.outputs == query.outputs
+        assert set(rebuilt.nodes) == set(query.nodes)
+        assert rebuilt.parent == query.parent
+        assert str(rebuilt.fs("x")) == str(query.fs("x"))

@@ -1,7 +1,5 @@
 """Cross-module integration and failure-injection tests."""
 
-import pytest
-
 from repro import DataGraph, GTEA, QueryBuilder, minimize_query
 from repro.analysis import are_equivalent, is_query_satisfiable
 from repro.datasets import generate_xmark
@@ -49,20 +47,20 @@ class TestFullStack:
 
 
 class TestFailureInjection:
-    def test_engine_requires_three_hop_index(self):
+    def test_engine_accepts_any_registered_index(self):
+        # Historically pruning hard-required the 3-hop index; the generic
+        # fallback path now serves every other index identically.
         graph = DataGraph.from_edges("ab", [(0, 1)])
-        query = QueryBuilder().backbone("r", label="a").build()
-        engine = GTEA(graph, index="tc")
-        # Trivial single-node queries never touch pruning, so force a
-        # structural query through the wrong index.
-        query2 = (
+        query = (
             QueryBuilder()
             .backbone("r", label="a")
             .predicate("p", parent="r", label="b")
             .build()
         )
-        with pytest.raises(TypeError, match="3-hop"):
-            engine.evaluate(query2)
+        reference = GTEA(graph, index="3hop").evaluate(query)
+        assert reference == {(0,)}
+        for index in ("tc", "tree-cover", "interval", "chain-cover", "contour", "sspi"):
+            assert GTEA(graph, index=index).evaluate(query) == reference
 
     def test_empty_graph(self):
         graph = DataGraph()
