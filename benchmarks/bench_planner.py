@@ -1,0 +1,156 @@
+"""Planner benchmark: compile-time overhead and minimized-query payoff.
+
+Two questions about the compile → execute pipeline:
+
+1. **What does compilation cost?**  Mean ``compile_query`` wall time
+   over the paper workloads (Fig. 7 conjunctive queries on XMark,
+   Example-1 GTPQs with OR/NOT on DBLP).  Compilation runs once per
+   distinct query in a warm session — the overhead amortizes across
+   repeats — but it must stay small against a single evaluation.
+
+2. **What does minimization buy?**  Queries carrying redundant
+   predicate subtrees (duplicates of backbone branches — the Fig. 2(b)
+   ``u8 ⊴ u4`` situation at workload scale) are shrunk at compile time;
+   the executor then fetches and prunes fewer candidate sets.  We
+   compare warm per-evaluation time of the raw query (optimizer off)
+   against the minimized plan, plus the O(1) constant-empty path for an
+   unsatisfiable query.
+
+Results land in ``benchmarks/reports/planner.json`` (machine-readable,
+next to the session-cache report) and as a table on stdout.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.datasets import dblp_example_query, fig7_query, generate_dblp
+from repro.engine import GTEA
+from repro.plan import compile_query
+from repro.query import QueryBuilder, query_from_dict, query_to_dict
+
+from .conftest import emit_report
+from repro.bench import format_table
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: evaluation repetitions per timing sample.
+ROUNDS = 5
+
+
+def redundant_fig7(variant: str) -> object:
+    """A Fig. 7 query plus predicate duplicates of backbone branches.
+
+    Each duplicate is subsumed by the backbone sibling it copies, so
+    Algorithm 1 removes it; the raw pipeline pays full candidate
+    fetching and pruning for every duplicate.
+    """
+    spec = query_to_dict(
+        fig7_query(variant, person_group=2, item_group=4, seller_group=6)
+    )
+    for source in ("bidder", "current"):
+        spec["nodes"].append({
+            "id": f"dup_{source}",
+            "kind": "predicate",
+            "parent": "open_auction",
+            "edge": "pc",
+            "atoms": [["label", "=", source]],
+        })
+    return query_from_dict(spec)
+
+
+def unsatisfiable_query() -> object:
+    return (
+        QueryBuilder()
+        .backbone("open_auction", label="open_auction")
+        .predicate("bidder", parent="open_auction", label="bidder")
+        .structural("open_auction", "bidder & !bidder")
+        .outputs("open_auction")
+        .build()
+    )
+
+
+def _mean_eval_ms(engine, query, plan=None) -> float:
+    samples = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        engine.evaluate_with_stats(query, plan=plan)
+        samples.append(time.perf_counter() - started)
+    return 1e3 * sum(samples) / len(samples)
+
+
+def test_planner_report(xmark_datasets):
+    graph = xmark_datasets[0.05].graph
+    dblp = generate_dblp()
+
+    # 1. compile-time overhead over the paper workloads.
+    compile_samples = []
+    workload = [
+        (graph, fig7_query("q1", person_group=2, item_group=4, seller_group=6)),
+        (graph, fig7_query("q2", person_group=2, item_group=4, seller_group=6)),
+        (graph, fig7_query("q3", person_group=2, item_group=4, seller_group=6)),
+        (dblp.graph, dblp_example_query("q1")),
+        (dblp.graph, dblp_example_query("q2")),
+        (dblp.graph, dblp_example_query("q3")),
+    ]
+    for data, query in workload:
+        started = time.perf_counter()
+        compile_query(data, query)
+        compile_samples.append(time.perf_counter() - started)
+    compile_ms = 1e3 * sum(compile_samples) / len(compile_samples)
+
+    # 2. warm payoff: minimized plan vs raw query, per variant.
+    raw_engine = GTEA(graph, optimize=False)
+    opt_engine = GTEA(graph, optimize=True)
+    rows = []
+    payload = {"compile_ms_mean": compile_ms, "variants": {}}
+    for variant in ("q1", "q2", "q3"):
+        query = redundant_fig7(variant)
+        plan = opt_engine.compile(query)
+        assert plan.normalized.removed_nodes  # the duplicates are dropped
+        raw_ms = _mean_eval_ms(raw_engine, query)
+        minimized_ms = _mean_eval_ms(opt_engine, query, plan=plan)
+        speedup = raw_ms / minimized_ms if minimized_ms else 0.0
+        rows.append([
+            variant,
+            len(query.nodes),
+            len(plan.query.nodes),
+            raw_ms,
+            minimized_ms,
+            speedup,
+        ])
+        payload["variants"][variant] = {
+            "nodes_raw": len(query.nodes),
+            "nodes_minimized": len(plan.query.nodes),
+            "raw_ms": raw_ms,
+            "minimized_ms": minimized_ms,
+            "speedup": speedup,
+        }
+
+    # 3. the constant-empty path for unsatisfiable queries.
+    unsat = unsatisfiable_query()
+    unsat_plan = opt_engine.compile(unsat)
+    assert unsat_plan.unsatisfiable
+    unsat_ms = _mean_eval_ms(opt_engine, unsat, plan=unsat_plan)
+    _, unsat_stats = opt_engine.evaluate_with_stats(unsat)
+    assert unsat_stats.index_lookups == 0
+    assert unsat_stats.input_nodes == 0
+    payload["unsat_ms"] = unsat_ms
+    rows.append(["unsat", len(unsat.nodes), 0, None, unsat_ms, None])
+
+    emit_report("planner", format_table(
+        f"Planner: compile {compile_ms:.3f} ms mean; "
+        "minimized vs raw evaluation (XMark scale 0.05)",
+        ["query", "nodes_raw", "nodes_min", "raw_ms", "min_ms", "speedup"],
+        rows,
+    ))
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / "planner.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # Sanity bars: compilation is cheap, and evaluating the minimized
+    # query is no slower than the raw one (loose bound — wall time).
+    for variant_payload in payload["variants"].values():
+        assert variant_payload["minimized_ms"] <= variant_payload["raw_ms"] * 1.25
+    assert unsat_ms < compile_ms + 1.0  # the O(1) path does no graph work

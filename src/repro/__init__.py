@@ -9,6 +9,9 @@ The package implements the paper's full stack:
   evaluation algorithm (the paper's core contribution);
 * :mod:`repro.analysis` — satisfiability, containment/equivalence and
   minimization decision procedures;
+* :mod:`repro.plan` — the query compiler: normalize (simplify /
+  satisfiability / minimization) → logical plan → cost-based physical
+  plan, with ``explain()`` at every stage;
 * :mod:`repro.reachability` — 3-hop and the other reachability indexes;
 * :mod:`repro.baselines` — TwigStack, Twig2Stack, TwigStackD, HGJoin;
 * :mod:`repro.datasets` — XMark-like / arXiv-like / DBLP-like generators
@@ -39,6 +42,7 @@ from .analysis import (
 )
 from .engine import GTEA, QuerySession, evaluate_gtea
 from .graph import DataGraph
+from .plan import CompiledPlan, compile_query
 from .query import (
     AttributePredicate,
     EdgeType,
@@ -52,6 +56,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AttributePredicate",
+    "CompiledPlan",
     "DataGraph",
     "EdgeType",
     "GTEA",
@@ -60,6 +65,7 @@ __all__ = [
     "QuerySession",
     "are_equivalent",
     "build_reachability",
+    "compile_query",
     "evaluate_gtea",
     "evaluate_naive",
     "is_contained",

@@ -4,7 +4,9 @@ Subcommands:
 
 * ``session-cache`` — the warm-vs-cold session comparison of
   ``benchmarks/bench_session_cache.py`` on a generated XMark-like graph;
-* ``stats`` — dataset statistics (Table 1 style) for a generated graph.
+* ``stats`` — dataset statistics (Table 1 style) for a generated graph;
+* ``explain`` — the compiled plan (normalize → logical → physical) of a
+  paper workload query, or of a serialized GTPQ passed as JSON.
 
 Installed as a console script by ``pip install .``; run ``repro-bench
 --help`` for options.
@@ -16,6 +18,7 @@ import argparse
 import sys
 
 from ..datasets import fig7_query, generate_xmark
+from ..engine import QuerySession
 from ..graph import graph_stats
 from ..reachability import select_auto_index
 from .harness import format_table, measure_warm_cold
@@ -65,6 +68,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    dataset = generate_xmark(scale=args.scale, seed=args.seed)
+    session = QuerySession(dataset.graph, index=args.index)
+    if args.query_json is not None:
+        try:
+            with open(args.query_json, encoding="utf-8") as handle:
+                query = handle.read()
+        except OSError as error:
+            print(f"repro-bench: error: {error}", file=sys.stderr)
+            return 2
+    else:
+        query = fig7_query(
+            args.variant, person_group=2, item_group=4, seller_group=6
+        )
+    try:
+        text = session.explain(query)
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"repro-bench: error: cannot compile query: {error}", file=sys.stderr)
+        return 2
+    title = (
+        f"compiled plan ({args.query_json or f'Fig. 7 {args.variant}'}, "
+        f"XMark scale {args.scale}, index={args.index})"
+    )
+    print(title)
+    print("-" * len(title))
+    print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -86,6 +118,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = subparsers.add_parser("stats", help="dataset statistics")
     stats.set_defaults(func=_cmd_stats)
+
+    explain = subparsers.add_parser(
+        "explain", help="compiled plan of a query (normalize/logical/physical)"
+    )
+    explain.add_argument("--variant", default="q3", choices=["q1", "q2", "q3"],
+                         help="Fig. 7 query variant (default: q3)")
+    explain.add_argument("--index", default="auto",
+                         help="reachability index name (default: auto)")
+    explain.add_argument("--query-json", metavar="FILE",
+                         help="explain a serialized GTPQ (JSON file) instead")
+    explain.set_defaults(func=_cmd_explain)
     return parser
 
 

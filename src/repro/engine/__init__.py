@@ -1,16 +1,23 @@
 """GTEA evaluation engine (S6 in DESIGN.md) — the paper's Section 4.
 
-Two entry points:
+Evaluation routes through the compiler of :mod:`repro.plan`
+(normalize → logical plan → physical plan) before execution.  Two entry
+points:
 
-* :class:`GTEA` — one evaluator over one graph.  Accepts any registered
-  reachability index, including ``index="auto"`` (cost-based selection
-  from graph statistics); the 3-hop index gets the paper's chain/contour
-  pruning fast path, every other index the generic fallback.
+* :class:`GTEA` — one evaluator over one graph.  Compiles queries
+  inline (``engine.compile(query)`` exposes the plan) and executes
+  compiled plans; accepts any registered reachability index, including
+  ``index="auto"`` (the cost model's choice).  The 3-hop index gets the
+  paper's chain/contour pruning fast path, every other index the
+  generic fallback; unsatisfiable queries short-circuit to O(1), and
+  low-selectivity conjunctive queries on DAGs run on the TwigStackD
+  baseline when the cost model prefers it.
 * :class:`QuerySession` — a serving layer above :class:`GTEA`: a pool of
-  lazily built indexes plus plan/candidate/result caches keyed by
-  canonical query fingerprints, with batch evaluation
+  lazily built indexes plus compiled-plan/candidate/result caches keyed
+  by canonical query fingerprints, with batch evaluation
   (:meth:`QuerySession.evaluate_many`) that deduplicates repeated
-  queries.  Use it whenever more than one query hits the same graph.
+  queries and :meth:`QuerySession.explain` for plan inspection.  Use it
+  whenever more than one query hits the same graph.
 """
 
 from .cache import CacheCounters, LRUCache

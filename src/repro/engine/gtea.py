@@ -1,18 +1,24 @@
 """GTEA — the paper's GTPQ evaluation algorithm (Section 4).
 
-Pipeline (Section 4.1, "Algorithm outline"):
+Evaluation runs in four explicit phases (see :mod:`repro.plan`):
 
-1. fetch candidate matching nodes ``mat(u)`` per query node;
-2. ``PruneDownward`` — drop candidates violating downward constraints;
-3. build the prime subtree, ``PruneUpward`` along it;
-4. shrink the prime subtree, build the maximal matching graph;
-5. ``CollectResults`` — enumerate output tuples from the graph.
+1. **normalize** — simplify structural predicates, decide Theorem-1
+   satisfiability, shrink the query with Algorithm-1 minimization;
+2. **logical plan** — candidate sources, prune obligations, prune order;
+3. **physical plan** — reachability index, executor and cost estimates;
+4. **execute** — this module: run a :class:`~repro.plan.CompiledPlan`
+   through the paper's pipeline (candidates → PruneDownward →
+   PruneUpward → matching graph → CollectResults), or through the
+   TwigStackD baseline when the cost model routed there, or through the
+   O(1) constant-empty path for unsatisfiable queries.
 
 Usage::
 
     engine = GTEA(graph)                  # builds the 3-hop index once
-    answer = engine.evaluate(query)       # a set of output tuples
+    answer = engine.evaluate(query)       # compile + execute
     answer, stats = engine.evaluate_with_stats(query)
+    plan = engine.compile(query)          # inspect: plan.explain()
+    answer, stats = engine.execute(plan)  # repeated execution
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ from __future__ import annotations
 from typing import Callable
 
 from ..graph.digraph import DataGraph
+from ..graph.stats import GraphStats, graph_stats
+from ..plan import CompiledPlan, compile_query
 from ..query.gtpq import GTPQ
 from ..query.naive import candidate_nodes
 from ..reachability.base import GraphReachability
@@ -29,6 +37,9 @@ from .prime import compute_prime_subtree, shrink_prime_subtree
 from .prune import MatSets, PruningContext, prune_downward, prune_upward
 from .results import ResultSet, collect_results
 from .stats import EvaluationStats
+
+#: type of the optional ``mat(u)`` source the session layer injects.
+CandidateProvider = Callable[[GTPQ, str], list[int]]
 
 
 class GTEA:
@@ -44,24 +55,79 @@ class GTEA:
         graph: DataGraph,
         index: str = "3hop",
         reachability: GraphReachability | None = None,
+        optimize: bool = True,
     ):
         """Args:
             graph: the data graph.
             index: reachability index name, or ``"auto"`` for the
-                cost-based choice of
-                :func:`repro.reachability.factory.select_auto_index`.
-                The 3-hop index enables the paper's chain/contour pruning
-                fast path; any other index runs through the generic
-                set-reachability fallback in :mod:`repro.engine.prune`.
+                cost-based choice of the physical planner
+                (:func:`repro.plan.cost.choose_index`).  The 3-hop index
+                enables the paper's chain/contour pruning fast path; any
+                other index runs through the generic set-reachability
+                fallback in :mod:`repro.engine.prune`.
             reachability: pre-built reachability service to reuse.
+            optimize: run Algorithm-1 minimization when compiling
+                queries inline; the simplification and satisfiability
+                phases always run.
         """
         self.graph = graph
-        self.reachability = (
-            reachability
-            if reachability is not None
-            else build_reachability(graph, index)
+        self._reachability = reachability
+        self._index_request = index
+        self._resolved_index: str | None = (
+            reachability.index.name if reachability is not None else None
+        )
+        self.optimize = optimize
+        self._baseline = None
+        self._stats_cache: tuple[int, GraphStats] | None = None
+
+    @property
+    def reachability(self) -> GraphReachability:
+        """The reachability service, built lazily on first use.
+
+        Laziness keeps plans that never probe an index — unsatisfiable
+        queries, baseline-routed queries — from paying index
+        construction.
+        """
+        if self._reachability is None:
+            self._reachability = build_reachability(
+                self.graph, self._index_request
+            )
+            self._resolved_index = self._reachability.index.name
+        return self._reachability
+
+    def resolved_index(self) -> str:
+        """The concrete index name, resolved without building the index."""
+        if self._resolved_index is None:
+            if self._index_request == "auto":
+                from ..plan.cost import choose_index
+
+                self._resolved_index = choose_index(self.graph_statistics())
+            else:
+                self._resolved_index = self._index_request
+        return self._resolved_index
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def graph_statistics(self) -> GraphStats:
+        """Graph statistics for the planner, cached per graph version."""
+        version = self.graph.version
+        if self._stats_cache is None or self._stats_cache[0] != version:
+            self._stats_cache = (version, graph_stats(self.graph))
+        return self._stats_cache[1]
+
+    def compile(self, query: GTPQ) -> CompiledPlan:
+        """Compile ``query`` against this engine's index and graph."""
+        return compile_query(
+            self.graph,
+            query,
+            index=self.resolved_index(),
+            minimize=self.optimize,
+            stats=self.graph_statistics(),
         )
 
+    # ------------------------------------------------------------------
+    # Evaluation entry points
     # ------------------------------------------------------------------
     def evaluate(self, query: GTPQ, group_nodes: tuple[str, ...] = ()) -> ResultSet:
         """Evaluate ``query``; returns tuples aligned with its outputs."""
@@ -73,9 +139,10 @@ class GTEA:
         query: GTPQ,
         group_nodes: tuple[str, ...] = (),
         output_structures: list[list[str]] | None = None,
-        candidate_provider: Callable[[GTPQ, str], list[int]] | None = None,
+        candidate_provider: CandidateProvider | None = None,
+        plan: CompiledPlan | None = None,
     ) -> tuple[ResultSet | dict[int, ResultSet], EvaluationStats]:
-        """Evaluate with counters (Appendix C.1 metrics).
+        """Compile (unless given a plan) and execute, with counters.
 
         Args:
             query: the query.
@@ -87,8 +154,74 @@ class GTEA:
                 source for candidate sets; defaults to a fresh
                 :func:`~repro.query.naive.candidate_nodes` scan.  The
                 session layer injects its shared candidate cache here.
+            plan: a pre-compiled plan for ``query`` (the session layer
+                caches these); compiled inline when omitted.
         """
         stats = EvaluationStats()
+        if plan is None:
+            with stats.time_phase("compile"):
+                plan = self.compile(query)
+        return self.execute(
+            plan,
+            group_nodes=group_nodes,
+            output_structures=output_structures,
+            candidate_provider=candidate_provider,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Plan execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: CompiledPlan,
+        group_nodes: tuple[str, ...] = (),
+        output_structures: list[list[str]] | None = None,
+        candidate_provider: CandidateProvider | None = None,
+        stats: EvaluationStats | None = None,
+    ) -> tuple[ResultSet | dict[int, ResultSet], EvaluationStats]:
+        """Run a compiled plan; see :meth:`evaluate_with_stats` for args.
+
+        Unsatisfiable plans return empty without touching the graph or
+        the reachability index (zero candidate fetches, zero lookups).
+        Group nodes and alternative output structures are evaluated
+        against the *original* query — their node ids may reference
+        nodes the rewrite dropped or relocated.
+        """
+        if stats is None:
+            stats = EvaluationStats()
+        if plan.unsatisfiable:
+            return self._empty_answer(stats, output_structures)
+
+        if group_nodes or output_structures:
+            query = plan.original
+        else:
+            query = plan.query
+
+        if (
+            plan.physical.executor == "twigstackd"
+            and not group_nodes
+            and not output_structures
+        ):
+            return self._execute_baseline(query, stats, candidate_provider)
+
+        order = plan.physical.downward_order
+        if set(order) != set(query.nodes):
+            order = None  # plan order describes the rewritten query only
+        return self._execute_gtea(
+            query, stats, group_nodes, output_structures, candidate_provider, order
+        )
+
+    def _execute_gtea(
+        self,
+        query: GTPQ,
+        stats: EvaluationStats,
+        group_nodes: tuple[str, ...],
+        output_structures: list[list[str]] | None,
+        candidate_provider: CandidateProvider | None,
+        order: tuple[str, ...] | None,
+    ) -> tuple[ResultSet | dict[int, ResultSet], EvaluationStats]:
+        """The paper's pipeline (Section 4.1, "Algorithm outline")."""
         reach = self.reachability
         reach.counters.reset()
         context = PruningContext(self.graph, query, reach)
@@ -108,7 +241,7 @@ class GTEA:
             return self._finish(empty, stats, output_structures)
 
         with stats.time_phase("prune_downward"):
-            mats = prune_downward(context, mats)
+            mats = prune_downward(context, mats, order=order)
             stats.candidates_after_downward = {
                 node_id: len(nodes) for node_id, nodes in mats.items()
             }
@@ -148,9 +281,7 @@ class GTEA:
                         query, matching_graph, mats,
                         outputs=outputs, group_nodes=group_nodes,
                     )
-                counters = reach.counters.snapshot()
-                stats.index_lookups = counters["lookups"]
-                stats.index_entries = counters["entries_scanned"]
+                self._record_index_counters(stats)
                 stats.result_count = sum(len(a) for a in answers.values())
                 return answers, stats
             results = collect_results(
@@ -158,10 +289,56 @@ class GTEA:
             )
         return self._finish(results, stats, None)
 
-    def _finish(self, results, stats: EvaluationStats, output_structures):
+    def _execute_baseline(
+        self,
+        query: GTPQ,
+        stats: EvaluationStats,
+        candidate_provider: CandidateProvider | None,
+    ) -> tuple[ResultSet, EvaluationStats]:
+        """Run the TwigStackD baseline the cost model routed to."""
+        from ..baselines.twigstackd import TwigStackD
+
+        if self._baseline is None:
+            self._baseline = TwigStackD(self.graph)
+        baseline = self._baseline
+        baseline.candidate_provider = candidate_provider
+        try:
+            with stats.time_phase("baseline"):
+                results, baseline_stats = baseline.evaluate_with_stats(query)
+        finally:
+            baseline.candidate_provider = None
+        stats.input_nodes += baseline_stats.input_nodes
+        stats.index_lookups += baseline_stats.index_lookups
+        stats.index_entries += baseline_stats.index_entries
+        stats.intermediate_tuples += baseline_stats.intermediate_tuples
+        stats.result_count = len(results)
+        for name, seconds in baseline_stats.phase_seconds.items():
+            stats.phase_seconds[name] = (
+                stats.phase_seconds.get(name, 0.0) + seconds
+            )
+        return results, stats
+
+    # ------------------------------------------------------------------
+    # Bookkeeping helpers
+    # ------------------------------------------------------------------
+    def _record_index_counters(self, stats: EvaluationStats) -> None:
+        """Snapshot the reachability counters into ``stats``."""
         counters = self.reachability.counters.snapshot()
         stats.index_lookups = counters["lookups"]
         stats.index_entries = counters["entries_scanned"]
+
+    @staticmethod
+    def _empty_answer(stats: EvaluationStats, output_structures):
+        """The constant-empty result (unsatisfiable plans): no I/O at all."""
+        if output_structures:
+            answers: dict[int, ResultSet] = {
+                position: set() for position in range(len(output_structures))
+            }
+            return answers, stats
+        return set(), stats
+
+    def _finish(self, results, stats: EvaluationStats, output_structures):
+        self._record_index_counters(stats)
         if output_structures:
             answers = {i: set() for i in range(len(output_structures))}
             stats.result_count = 0

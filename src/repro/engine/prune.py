@@ -79,17 +79,29 @@ class PruningContext:
         return False
 
 
-def prune_downward(context: PruningContext, mats: MatSets) -> MatSets:
+def prune_downward(
+    context: PruningContext,
+    mats: MatSets,
+    order: tuple[str, ...] | None = None,
+) -> MatSets:
     """Procedure 6: keep candidates satisfying downward constraints.
 
     Predecessor contours are only materialized for nodes entered through
     an AD edge — PC children are checked with exact successor lookups, so
     their contours would never be read (a large saving on the paper's
     PC-heavy XMark workloads).
+
+    Args:
+        context: shared pruning state.
+        mats: initial candidate sets.
+        order: node visit order; any children-before-parents permutation
+            is valid (only refined child sets are read).  The physical
+            planner passes a selectivity-sorted order; the default is
+            :meth:`~repro.query.gtpq.GTPQ.bottom_up`.
     """
     query, index = context.query, context.index
     refined: MatSets = {}
-    for node_id in query.bottom_up():
+    for node_id in order if order is not None else query.bottom_up():
         children = query.children[node_id]
         if not children:
             refined[node_id] = list(mats[node_id])

@@ -6,9 +6,11 @@ built once and amortized over many queries (Section 4.1).  A
 data graph plus a lazily built pool of reachability indexes, and reuses
 three kinds of evaluation artifacts across queries:
 
-* a **plan cache** — parsed/analyzed queries keyed by the canonical
-  fingerprint of :func:`repro.query.serialize.query_fingerprint`, so JSON
-  workloads and repeated query objects skip re-parsing and re-analysis;
+* a **plan cache** — parsed and *compiled* queries (the full
+  normalize → logical → physical artifact of :mod:`repro.plan`) keyed by
+  the canonical fingerprint of
+  :func:`repro.query.serialize.query_fingerprint`, so JSON workloads and
+  repeated query objects skip re-parsing, re-analysis and the optimizer;
 * a **candidate cache** — ``mat(u)`` sets keyed by the node's attribute
   predicate (:func:`repro.query.serialize.predicate_key`), shared across
   *different* queries whose nodes carry overlapping predicates;
@@ -25,10 +27,11 @@ metrics.
 Usage::
 
     session = QuerySession(graph)             # index="auto"
-    answer = session.evaluate(query)          # cold: evaluates + caches
+    answer = session.evaluate(query)          # cold: compiles + caches
     answer = session.evaluate(query)          # warm: result-cache hit
     batch = session.evaluate_many(queries)    # deduplicates fingerprints
     batch.stats.result_cache_hits             # aggregate counters
+    print(session.explain(query))             # compiled-plan stages
 """
 
 from __future__ import annotations
@@ -39,6 +42,8 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..graph.digraph import DataGraph
+from ..graph.stats import GraphStats, graph_stats
+from ..plan import CompiledPlan, choose_index, compile_query
 from ..query.gtpq import GTPQ
 from ..query.naive import candidate_nodes
 from ..query.serialize import (
@@ -60,20 +65,23 @@ QueryLike = GTPQ | dict | str
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """A parsed and analyzed query, ready for repeated evaluation.
+    """A parsed and *compiled* query, ready for repeated execution.
 
     Attributes:
         query: the parsed :class:`~repro.query.gtpq.GTPQ`.
         fingerprint: canonical content hash (the plan-cache key).
         predicate_keys: per query node, the candidate-cache key of its
             attribute predicate.
-        is_conjunctive: cached conjunctivity analysis (baseline routing).
+        compiled: the full :class:`~repro.plan.CompiledPlan` — normalize
+            rewrites, logical IR and physical decisions; what
+            :meth:`QuerySession.explain` renders and what the executor
+            runs (baseline routing lives in ``compiled.physical``).
     """
 
     query: GTPQ
     fingerprint: str
     predicate_keys: dict[str, str]
-    is_conjunctive: bool
+    compiled: CompiledPlan
 
 
 @dataclass
@@ -99,8 +107,8 @@ class QuerySession:
     Args:
         graph: the data graph to serve queries against.
         index: default reachability index name, or ``"auto"`` (default)
-            for the cost-based pick of
-            :func:`repro.reachability.factory.select_auto_index`.
+            for the cost-based pick of the physical planner
+            (:func:`repro.plan.cost.choose_index`).
         plan_cache_size: LRU capacity of the plan cache.
         candidate_cache_size: LRU capacity of the shared ``mat(u)`` cache
             (entries are predicates, not queries).
@@ -126,6 +134,7 @@ class QuerySession:
         self._reach_pool: dict[str, GraphReachability] = {}
         self._engines: dict[str, GTEA] = {}
         self._resolved_auto: str | None = None
+        self._graph_stats: GraphStats | None = None
         self._graph_version = graph.version
 
     # ------------------------------------------------------------------
@@ -141,7 +150,9 @@ class QuerySession:
         if index != "auto":
             return resolve_index(self.graph, index)
         if self._resolved_auto is None:
-            self._resolved_auto = resolve_index(self.graph, "auto")
+            # Same ladder as resolve_index(graph, "auto"), but fed from
+            # the session's cached statistics (one graph walk, not two).
+            self._resolved_auto = choose_index(self.graph_statistics())
         return self._resolved_auto
 
     def reachability(self, index: str | None = None) -> GraphReachability:
@@ -180,6 +191,7 @@ class QuerySession:
         self._reach_pool.clear()
         self._engines.clear()
         self._resolved_auto = None
+        self._graph_stats = None
         self._graph_version = self.graph.version
 
     def _ensure_fresh(self) -> None:
@@ -189,16 +201,31 @@ class QuerySession:
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
+    def graph_statistics(self) -> GraphStats:
+        """Graph statistics for the planner, cached per graph version."""
+        self._ensure_fresh()
+        if self._graph_stats is None:
+            self._graph_stats = graph_stats(self.graph)
+        return self._graph_stats
+
     def plan(self, query: QueryLike) -> QueryPlan:
-        """Parse/analyze ``query`` through the plan cache.
+        """Parse and *compile* ``query`` through the plan cache.
 
         Accepts a :class:`~repro.query.gtpq.GTPQ`, a dictionary in the
         :func:`~repro.query.serialize.query_to_dict` format, or its JSON
         text.  Serialized inputs are additionally keyed by their raw
         content hash, so a repeated JSON query skips parsing entirely.
+        The cached artifact includes the full compiled plan (normalize
+        rewrites, logical IR, physical decisions), so repeated queries
+        skip the optimizer as well as the parser.
         """
         self._ensure_fresh()
         return self._plan_for(query)
+
+    def explain(self, query: QueryLike) -> str:
+        """The compiled plan of ``query``, rendered stage by stage."""
+        self._ensure_fresh()
+        return self._plan_for(query).compiled.explain()
 
     def _plan_for(self, query: QueryLike) -> QueryPlan:
         # One planning operation counts exactly one plan-cache hit or miss,
@@ -239,7 +266,12 @@ class QuerySession:
                     node_id: predicate_key(parsed.attribute(node_id))
                     for node_id in parsed.nodes
                 },
-                is_conjunctive=parsed.is_conjunctive(),
+                compiled=compile_query(
+                    self.graph,
+                    parsed,
+                    index=self.default_index,
+                    stats=self.graph_statistics(),
+                ),
             )
             self.plan_cache.put(fingerprint, plan)
         else:
@@ -282,10 +314,19 @@ class QuerySession:
             stats.result_count = len(cached)
             return set(cached), stats
 
+        if plan.compiled.unsatisfiable:
+            # Constant-empty plan: answer without materializing an index
+            # or even touching an engine.
+            stats = EvaluationStats()
+            stats.result_cache_misses = 1
+            self.result_cache.put(result_key, frozenset())
+            return set(), stats
+
         candidate_counters = self.candidate_cache.counters
         hits, misses = candidate_counters.hits, candidate_counters.misses
-        results, stats = self.engine().evaluate_with_stats(
-            plan.query,
+        engine = self.engine(plan.compiled.physical.index_name)
+        results, stats = engine.execute(
+            plan.compiled,
             group_nodes=group_nodes,
             candidate_provider=self._candidate_provider(plan),
         )

@@ -31,7 +31,7 @@ class DataGraph:
         self._succ: list[list[int]] = []
         self._pred: list[list[int]] = []
         self._edge_count = 0
-        self._label_index: dict[Any, list[int]] | None = None
+        self._label_index: dict[Any, tuple[int, ...]] | None = None
         self._version = 0
 
     @property
@@ -167,21 +167,26 @@ class DataGraph:
     # ------------------------------------------------------------------
     # Candidate-matching support
     # ------------------------------------------------------------------
-    def nodes_with_label(self, label: Any) -> list[int]:
+    def nodes_with_label(self, label: Any) -> tuple[int, ...]:
         """All nodes whose ``"label"`` attribute equals ``label``.
 
         Backed by a lazily built inverted index, mirroring how the paper's
         implementations stream ``mat(u)`` per query node without a full
-        graph scan per query.
+        graph scan per query.  Returns the stored (immutable) posting
+        tuple itself — repeated candidate scans share one object instead
+        of copying the list per call; the index is rebuilt only after a
+        mutation.
         """
         if self._label_index is None:
-            index: dict[Any, list[int]] = {}
+            lists: dict[Any, list[int]] = {}
             for node, attrs in enumerate(self._attrs):
                 node_label = attrs.get("label")
                 if node_label is not None:
-                    index.setdefault(node_label, []).append(node)
-            self._label_index = index
-        return list(self._label_index.get(label, ()))
+                    lists.setdefault(node_label, []).append(node)
+            self._label_index = {
+                node_label: tuple(nodes) for node_label, nodes in lists.items()
+            }
+        return self._label_index.get(label, ())
 
     def distinct_labels(self) -> set[Any]:
         """The set of distinct ``"label"`` values present in the graph."""

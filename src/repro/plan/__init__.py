@@ -1,0 +1,43 @@
+"""Query compilation (S9): normalize → logical plan → physical plan.
+
+The optimizer layer between :mod:`repro.query` and :mod:`repro.engine`.
+:func:`compile_query` turns a GTPQ into a :class:`CompiledPlan` — an
+inspectable artifact whose ``explain()`` shows the rewrites of the
+normalize phase (simplification, Theorem-1 satisfiability, Algorithm-1
+minimization), the logical IR (candidate sources, prune obligations,
+prune order) and the physical decisions (reachability index, executor,
+cost estimates).  :class:`repro.engine.GTEA` executes compiled plans;
+:class:`repro.engine.QuerySession` caches them per query fingerprint.
+"""
+
+from .compile import CompiledPlan, compile_query
+from .cost import (
+    AUTO_NEAR_TREE_RATIO,
+    AUTO_TC_MAX_NODES,
+    CostEstimate,
+    choose_index,
+    estimate_candidates,
+    estimate_executor,
+)
+from .logical import CandidateSource, LogicalPlan, PruneObligation, build_logical_plan
+from .normalize import NormalizedQuery, normalize
+from .physical import PhysicalPlan, build_physical_plan
+
+__all__ = [
+    "AUTO_NEAR_TREE_RATIO",
+    "AUTO_TC_MAX_NODES",
+    "CandidateSource",
+    "CompiledPlan",
+    "CostEstimate",
+    "LogicalPlan",
+    "NormalizedQuery",
+    "PhysicalPlan",
+    "PruneObligation",
+    "build_logical_plan",
+    "build_physical_plan",
+    "choose_index",
+    "compile_query",
+    "estimate_candidates",
+    "estimate_executor",
+    "normalize",
+]

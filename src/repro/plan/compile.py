@@ -1,0 +1,82 @@
+"""The query compiler: normalize → logical plan → physical plan.
+
+One entry point, :func:`compile_query`, produces a :class:`CompiledPlan`
+that the executors in :mod:`repro.engine` run.  The compiled artifact is
+inspectable end to end — ``CompiledPlan.explain()`` renders all three
+stages — and is what :class:`repro.engine.session.QuerySession` caches
+per canonical query fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.digraph import DataGraph
+from ..graph.stats import GraphStats
+from ..query.gtpq import GTPQ
+from .logical import LogicalPlan, build_logical_plan
+from .normalize import NormalizedQuery, normalize
+from .physical import PhysicalPlan, build_physical_plan
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A fully compiled query, ready for repeated execution."""
+
+    normalized: NormalizedQuery
+    logical: LogicalPlan
+    physical: PhysicalPlan
+
+    @property
+    def original(self) -> GTPQ:
+        """The query as submitted."""
+        return self.normalized.original
+
+    @property
+    def query(self) -> GTPQ:
+        """The (possibly rewritten) query the executor runs."""
+        return self.normalized.rewritten
+
+    @property
+    def unsatisfiable(self) -> bool:
+        return not self.normalized.satisfiable
+
+    def explain(self) -> str:
+        """Render every compilation stage, one section per phase."""
+        sections = [
+            ("normalize", self.normalized.explain_lines()),
+            ("logical plan", self.logical.explain_lines()),
+            ("physical plan", self.physical.explain_lines()),
+        ]
+        lines: list[str] = []
+        for title, body in sections:
+            lines.append(f"== {title} ==")
+            lines.extend(body)
+        return "\n".join(lines)
+
+
+def compile_query(
+    graph: DataGraph,
+    query: GTPQ,
+    *,
+    index: str = "auto",
+    minimize: bool = True,
+    stats: GraphStats | None = None,
+) -> CompiledPlan:
+    """Compile ``query`` for evaluation over ``graph``.
+
+    Args:
+        graph: the data graph.
+        query: the query to compile.
+        index: reachability index name, or ``"auto"`` for the cost
+            model's choice.
+        minimize: run Algorithm-1 minimization during the normalize
+            phase (simplification and the satisfiability short circuit
+            always run).
+        stats: precomputed graph statistics, to skip the per-compile
+            :func:`~repro.graph.stats.graph_stats` walk.
+    """
+    normalized = normalize(query, minimize=minimize)
+    logical = build_logical_plan(graph, normalized)
+    physical = build_physical_plan(graph, normalized, logical, index=index, stats=stats)
+    return CompiledPlan(normalized=normalized, logical=logical, physical=physical)

@@ -1,0 +1,121 @@
+"""Phase 3 of query compilation: the physical plan.
+
+Turns a :class:`~repro.plan.logical.LogicalPlan` into concrete execution
+decisions using the cost model of :mod:`repro.plan.cost`:
+
+* which reachability index the executor should probe (the ladder that
+  used to be hardwired in ``reachability.factory.select_auto_index``);
+* which executor runs the query — GTEA's prune-and-match pipeline, the
+  TwigStackD baseline for low-selectivity conjunctive queries on DAGs
+  (behind the existing :class:`repro.baselines.base.BaselineEvaluator`
+  interface), or the constant-empty executor for queries the normalize
+  phase proved unsatisfiable;
+* the downward prune order (inherited from the logical plan's
+  selectivity ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.digraph import DataGraph
+from ..graph.stats import GraphStats, graph_stats
+from .cost import CostEstimate, choose_index, estimate_executor
+from .logical import LogicalPlan
+from .normalize import NormalizedQuery
+
+#: executor names a physical plan may carry.
+EXECUTORS = ("gtea", "twigstackd", "constant-empty")
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """Concrete execution decisions for one compiled query.
+
+    Attributes:
+        index_name: reachability index the executor probes (resolved,
+            never ``"auto"``).
+        executor: one of :data:`EXECUTORS`.
+        downward_order: node order for Procedure 6 (valid for the
+            *rewritten* query only; executors fall back to the default
+            bottom-up order when running the original query).
+        cost: the executor cost comparison, or None for constant-empty.
+        index_reason: why this index was picked.
+    """
+
+    index_name: str
+    executor: str
+    downward_order: tuple[str, ...]
+    cost: CostEstimate | None
+    index_reason: str
+
+    def explain_lines(self) -> list[str]:
+        lines = [f"index: {self.index_name} ({self.index_reason})"]
+        if self.cost is not None:
+            lines.append(f"executor: {self.executor} ({self.cost.reason})")
+            lines.append(
+                f"  cost estimate: gtea={self.cost.gtea_cost} "
+                f"baseline={self.cost.baseline_cost} "
+                f"candidates~{self.cost.total_candidates}"
+            )
+        else:
+            lines.append(f"executor: {self.executor}")
+        return lines
+
+
+def build_physical_plan(
+    graph: DataGraph,
+    normalized: NormalizedQuery,
+    logical: LogicalPlan,
+    *,
+    index: str = "auto",
+    stats: GraphStats | None = None,
+) -> PhysicalPlan:
+    """Cost the logical plan and fix index, executor and prune order.
+
+    Args:
+        graph: the data graph.
+        normalized: the normalize-phase outcome (for the unsatisfiable
+            short circuit).
+        logical: the logical plan to realize.
+        index: an explicit index name pins the choice; ``"auto"`` lets
+            the cost model decide from the graph statistics.
+        stats: precomputed :func:`~repro.graph.stats.graph_stats` (the
+            session layer caches them per graph version); computed on
+            demand when omitted.
+    """
+    if stats is None:
+        stats = graph_stats(graph)
+    if index == "auto":
+        index_name = choose_index(stats)
+        index_reason = "cost model: graph-shape ladder"
+    else:
+        # Deferred import: the factory imports this package's cost model.
+        from ..reachability.factory import available_indexes
+
+        if index not in available_indexes():
+            raise ValueError(
+                f"unknown index {index!r}; available: "
+                f"{', '.join(available_indexes())} (or 'auto')"
+            )
+        index_name = index
+        index_reason = "pinned by caller"
+
+    if not normalized.satisfiable:
+        return PhysicalPlan(
+            index_name=index_name,
+            executor="constant-empty",
+            downward_order=logical.downward_order,
+            cost=None,
+            index_reason=index_reason,
+        )
+
+    estimates = {source.node_id: source.estimate for source in logical.sources}
+    cost = estimate_executor(stats, logical.query, estimates)
+    return PhysicalPlan(
+        index_name=index_name,
+        executor=cost.executor,
+        downward_order=logical.downward_order,
+        cost=cost,
+        index_reason=index_reason,
+    )

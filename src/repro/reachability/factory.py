@@ -13,6 +13,7 @@ from typing import Callable
 
 from ..graph.digraph import DataGraph
 from ..graph.stats import GraphStats, graph_stats
+from ..plan.cost import AUTO_NEAR_TREE_RATIO, AUTO_TC_MAX_NODES, choose_index
 from .base import Dag, DagIndex, GraphReachability
 from .chain_cover import ChainCoverIndex
 from .contour import ContourIndex
@@ -32,12 +33,14 @@ _REGISTRY: dict[str, Callable[[Dag], DagIndex]] = {
     "contour": ContourIndex,
 }
 
-#: node count up to which the packed-bitset transitive closure is the
-#: obvious winner (O(1) queries; the bit matrix stays under ~32 KiB).
-AUTO_TC_MAX_NODES = 512
-
-#: edge/node ratio under which a DAG counts as "near-tree" for ``auto``.
-AUTO_NEAR_TREE_RATIO = 1.1
+__all__ = [
+    "AUTO_NEAR_TREE_RATIO",
+    "AUTO_TC_MAX_NODES",
+    "available_indexes",
+    "build_reachability",
+    "resolve_index",
+    "select_auto_index",
+]
 
 
 def available_indexes() -> list[str]:
@@ -48,28 +51,12 @@ def available_indexes() -> list[str]:
 def select_auto_index(stats: GraphStats) -> str:
     """Cost-based index choice from graph statistics alone.
 
-    The heuristic ladder:
-
-    1. tiny graphs — packed transitive closure (quadratic space is noise,
-       queries are one bit probe);
-    2. forests (acyclic, every non-root with exactly one parent) —
-       interval labels, whose containment test is exact there;
-    3. near-tree DAGs (edge count within :data:`AUTO_NEAR_TREE_RATIO` of
-       the node count) — the Agrawal tree cover, which keeps one interval
-       per node on such graphs;
-    4. everything else — 3-hop, the paper's default.
-
-    Cyclic graphs skip the forest/near-tree rungs: the statistics describe
-    the raw graph, not its condensation, so tree-shape evidence is absent.
+    The decision lives in the physical planner's cost model; this alias
+    (plus the re-exported ``AUTO_*`` thresholds) keeps the historical
+    factory API working.  See :func:`repro.plan.cost.choose_index` for
+    the heuristic ladder.
     """
-    if stats.num_nodes <= AUTO_TC_MAX_NODES:
-        return "tc"
-    if stats.is_dag:
-        if stats.num_edges == stats.num_nodes - stats.num_roots:
-            return "interval"
-        if stats.num_edges <= AUTO_NEAR_TREE_RATIO * stats.num_nodes:
-            return "tree-cover"
-    return "3hop"
+    return choose_index(stats)
 
 
 def resolve_index(graph: DataGraph, index: str) -> str:

@@ -75,16 +75,29 @@ class TestAdjacency:
 class TestLabelIndex:
     def test_nodes_with_label(self):
         graph = DataGraph.from_edges("aba", [])
-        assert graph.nodes_with_label("a") == [0, 2]
-        assert graph.nodes_with_label("b") == [1]
-        assert graph.nodes_with_label("z") == []
+        assert graph.nodes_with_label("a") == (0, 2)
+        assert graph.nodes_with_label("b") == (1,)
+        assert graph.nodes_with_label("z") == ()
 
     def test_label_index_invalidated_on_add(self):
         graph = DataGraph()
         graph.add_node(label="x")
-        assert graph.nodes_with_label("x") == [0]
+        assert graph.nodes_with_label("x") == (0,)
         graph.add_node(label="x")
-        assert graph.nodes_with_label("x") == [0, 1]
+        assert graph.nodes_with_label("x") == (0, 1)
+
+    def test_repeated_scans_share_one_posting_without_rebuild(self):
+        """Regression: no per-call copy, no index rebuild while unmutated."""
+        graph = DataGraph.from_edges("abab", [(0, 1)])
+        first = graph.nodes_with_label("a")
+        index_before = graph._label_index
+        assert index_before is not None
+        for _ in range(3):
+            assert graph.nodes_with_label("a") is first  # shared tuple
+        assert graph._label_index is index_before  # never rebuilt
+        graph.add_node(label="a")
+        assert graph.nodes_with_label("a") == (0, 2, 4)
+        assert graph._label_index is not index_before  # rebuilt once
 
     def test_distinct_labels(self):
         graph = DataGraph.from_edges("aabc", [])

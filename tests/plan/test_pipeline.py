@@ -1,0 +1,220 @@
+"""End-to-end tests of the compile → execute pipeline.
+
+Satellite + acceptance coverage: unsatisfiable queries short-circuit to
+O(1) with zero index I/O, minimized queries answer exactly like the
+unoptimized path (paper fixtures and generated workloads, cross-checked
+against the naive oracle), the cost model's baseline routing stays
+correct, and ``explain()`` is surfaced through the session and CLI.
+"""
+
+import random
+
+from repro.bench.cli import main as bench_main
+from repro.datasets import random_embedded_query
+from repro.engine import GTEA, QuerySession
+from repro.graph import DataGraph
+from repro.query import QueryBuilder, evaluate_naive
+from tests.paper_fixtures import FIG2_ANSWER, fig2_graph, fig2_query, fig4_query
+
+
+def unsatisfiable_query():
+    return (
+        QueryBuilder()
+        .backbone("r", label="a1")
+        .predicate("p", parent="r", label="b1")
+        .structural("r", "p & !p")
+        .outputs("r")
+        .build()
+    )
+
+
+def layered_graph(rng, nodes=40, labels="abcx"):
+    """A small layered DAG with repeated labels (oracle-friendly)."""
+    graph = DataGraph()
+    for _ in range(nodes):
+        graph.add_node(label=rng.choice(labels))
+    for i in range(nodes):
+        for j in range(i + 1, min(i + 6, nodes)):
+            if rng.random() < 0.25:
+                graph.add_edge(i, j)
+    return graph
+
+
+class TestUnsatisfiableShortCircuit:
+    def test_session_returns_empty_with_zero_index_io(self):
+        session = QuerySession(fig2_graph())
+        results, stats = session.evaluate_with_stats(unsatisfiable_query())
+        assert results == set()
+        assert stats.index_lookups == 0
+        assert stats.index_entries == 0
+        # No candidate set was built: no fetches, no cache traffic.
+        assert stats.input_nodes == 0
+        assert stats.candidate_cache_hits == 0
+        assert stats.candidate_cache_misses == 0
+
+    def test_bare_engine_matches_oracle_on_unsat(self):
+        graph = fig2_graph()
+        query = unsatisfiable_query()
+        engine = GTEA(graph)
+        results, stats = engine.evaluate_with_stats(query)
+        assert results == evaluate_naive(query, graph) == set()
+        assert stats.index_lookups == 0
+        assert stats.candidates_initial == {}
+
+    def test_unsat_with_output_structures_returns_empty_dict(self):
+        engine = GTEA(fig2_graph())
+        answers, stats = engine.evaluate_with_stats(
+            unsatisfiable_query(), output_structures=[["r"], ["r"]]
+        )
+        assert answers == {0: set(), 1: set()}
+        assert stats.index_lookups == 0
+
+    def test_warm_unsat_is_a_result_cache_hit(self):
+        session = QuerySession(fig2_graph())
+        query = unsatisfiable_query()
+        session.evaluate(query)
+        _, warm = session.evaluate_with_stats(query)
+        assert warm.result_cache_hits == 1
+
+    def test_unsat_query_builds_no_index(self):
+        session = QuerySession(fig2_graph())
+        assert session.evaluate(unsatisfiable_query()) == set()
+        assert session.cache_info()["indexes"]["pooled"] == 0
+
+    def test_bare_engine_unsat_builds_no_index(self):
+        engine = GTEA(fig2_graph())
+        assert engine.evaluate(unsatisfiable_query()) == set()
+        assert engine._reachability is None  # still lazy
+
+
+class TestMinimizedEquivalence:
+    def test_fig2_minimized_pipeline_matches_paper_answer(self):
+        graph, query = fig2_graph(), fig2_query()
+        session = QuerySession(graph)
+        plan = session.plan(query)
+        assert plan.compiled.normalized.removed_nodes == ("u8",)
+        assert session.evaluate(query) == FIG2_ANSWER
+
+    def test_optimized_equals_unoptimized_on_paper_fixtures(self):
+        graph = fig2_graph()
+        optimized = GTEA(graph, optimize=True)
+        raw = GTEA(graph, optimize=False)
+        for query in (
+            fig2_query(),
+            fig4_query("q1"),
+            fig4_query("q2"),
+            fig4_query("q1", fs_u1="u2"),
+        ):
+            expected = evaluate_naive(query, graph)
+            assert optimized.evaluate(query) == expected
+            assert raw.evaluate(query) == expected
+
+    def test_generated_workload_oracle_cross_check(self):
+        """datasets.random_queries patterns through the full pipeline."""
+        rng = random.Random(23)
+        graph = layered_graph(rng)
+        session = QuerySession(graph)
+        checked = 0
+        for size in (3, 4, 5):
+            for _ in range(4):
+                query = random_embedded_query(graph, size, rng)
+                if query is None:
+                    continue
+                expected = evaluate_naive(query, graph)
+                assert session.evaluate(query) == expected
+                assert expected  # embedded queries have nonempty answers
+                checked += 1
+        assert checked >= 6
+
+    def test_redundant_sibling_is_removed_and_answers_agree(self):
+        """A predicate duplicating an existing backbone child is dropped."""
+        rng = random.Random(5)
+        graph = layered_graph(rng)
+        query = (
+            QueryBuilder()
+            .backbone("r", label="a")
+            .backbone("b1", parent="r", label="b")
+            .predicate("p1", parent="r", label="b")
+            .outputs("r", "b1")
+            .build()
+        )
+        session = QuerySession(graph)
+        plan = session.plan(query)
+        assert plan.compiled.normalized.removed_nodes == ("p1",)
+        assert session.evaluate(query) == evaluate_naive(query, graph)
+
+
+class TestBaselineRouting:
+    def routed_case(self):
+        rng = random.Random(11)
+        graph = layered_graph(rng, nodes=30)
+        query = (
+            QueryBuilder()
+            .backbone("r")
+            .backbone("x", parent="r")
+            .backbone("y", parent="x")
+            .outputs("r", "x", "y")
+            .build()
+        )
+        return graph, query
+
+    def test_routed_query_matches_oracle(self):
+        graph, query = self.routed_case()
+        engine = GTEA(graph)
+        plan = engine.compile(query)
+        assert plan.physical.executor == "twigstackd"
+        results, stats = engine.evaluate_with_stats(query)
+        assert results == evaluate_naive(query, graph)
+        assert "baseline" in stats.phase_seconds
+
+    def test_routed_query_through_session_uses_candidate_cache(self):
+        graph, query = self.routed_case()
+        session = QuerySession(graph, result_cache_size=0)
+        _, cold = session.evaluate_with_stats(query)
+        assert cold.candidate_cache_misses == 1  # one wildcard predicate key
+        assert cold.candidate_cache_hits == 2   # shared by the other nodes
+        _, warm = session.evaluate_with_stats(query)
+        assert warm.candidate_cache_hits == 3
+        assert session.evaluate(query) == evaluate_naive(query, graph)
+
+    def test_group_nodes_fall_back_to_gtea(self):
+        graph, query = self.routed_case()
+        engine = GTEA(graph)
+        grouped, stats = engine.evaluate_with_stats(query, group_nodes=("y",))
+        assert "baseline" not in stats.phase_seconds
+        raw = GTEA(graph, optimize=False)
+        expected, _ = raw.evaluate_with_stats(query, group_nodes=("y",))
+        assert grouped == expected
+
+
+class TestExplainSurface:
+    def test_session_explain_shows_all_stages(self):
+        session = QuerySession(fig2_graph())
+        text = session.explain(fig2_query())
+        assert "== normalize ==" in text
+        assert "== logical plan ==" in text
+        assert "== physical plan ==" in text
+        assert "minimized" in text
+
+    def test_explain_reuses_the_plan_cache(self):
+        session = QuerySession(fig2_graph())
+        query = fig2_query()
+        session.explain(query)
+        hits = session.plan_cache.counters.hits
+        session.explain(query)
+        assert session.plan_cache.counters.hits == hits + 1
+
+    def test_cli_explain_subcommand(self, capsys):
+        code = bench_main(["--scale", "0.02", "explain", "--variant", "q1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== physical plan ==" in out
+        assert "downward prune order" in out
+
+    def test_cli_explain_rejects_unknown_index(self, capsys):
+        code = bench_main(
+            ["--scale", "0.02", "explain", "--index", "nosuchindex"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown index" in err
