@@ -1,0 +1,110 @@
+"""Shared-subtree batch evaluation: prune work saved vs per-query plans.
+
+Synthetic workloads with a controlled fraction of subtree overlap
+(``random_query_batch``'s graft probability) are evaluated twice on
+fresh sessions: once through the shared-plan DAG of PR 3
+(``evaluate_many(share=True)``) and once through the PR-2 per-query
+compilation path (``share=False``).  The headline metric is
+``downward_prune_ops`` — node-level Procedure-6 refinements actually
+executed — plus wall time; answers are asserted identical.
+
+Results land in ``benchmarks/reports/shared.json`` (machine-readable)
+and as a table on stdout.
+"""
+
+import json
+import pathlib
+import random
+import time
+
+from repro.bench import format_table
+from repro.datasets import random_labeled_graph, random_query_batch
+from repro.engine import QuerySession
+
+from .conftest import emit_report
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: graft probability sweep — 0% is the no-sharing control.
+OVERLAPS = (0.0, 0.5, 0.8)
+BATCH_SIZE = 24
+GRAPH_NODES = 400
+SEED = 23
+
+
+def _workload(overlap: float):
+    rng = random.Random(SEED)
+    graph = random_labeled_graph(
+        GRAPH_NODES, rng, labels="abcdef", edge_prob=2.2 / GRAPH_NODES, cycle_edges=6
+    )
+    batch = random_query_batch(
+        graph, rng, batch_size=BATCH_SIZE, size_range=(3, 6), overlap=overlap
+    )
+    return graph, batch
+
+
+def _measure(graph, batch, share: bool):
+    session = QuerySession(graph, result_cache_size=0)
+    started = time.perf_counter()
+    outcome = session.evaluate_many(batch, share=share)
+    elapsed_ms = 1e3 * (time.perf_counter() - started)
+    return outcome, elapsed_ms
+
+
+def test_shared_subtree_report():
+    rows = []
+    payload = {
+        "batch_size": BATCH_SIZE,
+        "graph_nodes": GRAPH_NODES,
+        "seed": SEED,
+        "overlaps": {},
+    }
+    for overlap in OVERLAPS:
+        graph, batch = _workload(overlap)
+        shared, shared_ms = _measure(graph, batch, share=True)
+        isolated, isolated_ms = _measure(graph, batch, share=False)
+        assert shared.results == isolated.results
+
+        ops_shared = shared.stats.downward_prune_ops
+        ops_isolated = isolated.stats.downward_prune_ops
+        saved = 1.0 - ops_shared / ops_isolated if ops_isolated else 0.0
+        speedup = isolated_ms / shared_ms if shared_ms else 0.0
+        rows.append([
+            f"{overlap:.0%}",
+            len(batch),
+            ops_isolated,
+            ops_shared,
+            shared.stats.batch_shared_subtrees,
+            f"{saved:.0%}",
+            round(isolated_ms, 2),
+            round(shared_ms, 2),
+            round(speedup, 2),
+        ])
+        payload["overlaps"][f"{overlap:.2f}"] = {
+            "queries": len(batch),
+            "prune_ops_per_query": ops_isolated,
+            "prune_ops_shared": ops_shared,
+            "shared_occurrences": shared.stats.batch_shared_subtrees,
+            "prune_work_saved": saved,
+            "per_query_ms": isolated_ms,
+            "shared_ms": shared_ms,
+            "speedup": speedup,
+        }
+        # Acceptance bar: >= 50% overlap must measurably cut prune work.
+        if overlap >= 0.5:
+            assert ops_shared < ops_isolated
+            assert shared.stats.batch_shared_subtrees > 0
+
+    emit_report("shared", format_table(
+        f"Shared-subtree batch evaluation ({BATCH_SIZE} queries, "
+        f"random graph n={GRAPH_NODES})",
+        [
+            "overlap", "queries", "ops_per_query", "ops_shared",
+            "shared_occ", "saved", "per_query_ms", "shared_ms", "speedup",
+        ],
+        rows,
+    ))
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / "shared.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

@@ -6,7 +6,10 @@ Subcommands:
   ``benchmarks/bench_session_cache.py`` on a generated XMark-like graph;
 * ``stats`` — dataset statistics (Table 1 style) for a generated graph;
 * ``explain`` — the compiled plan (normalize → logical → physical) of a
-  paper workload query, or of a serialized GTPQ passed as JSON.
+  paper workload query, or of a serialized GTPQ passed as JSON;
+* ``shared`` — batch evaluation through the shared-plan DAG vs the
+  per-query path on a synthetic overlapping workload, plus the batch's
+  sharing structure (``QuerySession.explain_batch``).
 
 Installed as a console script by ``pip install .``; run ``repro-bench
 --help`` for options.
@@ -15,9 +18,16 @@ Installed as a console script by ``pip install .``; run ``repro-bench
 from __future__ import annotations
 
 import argparse
+import random
 import sys
+import time
 
-from ..datasets import fig7_query, generate_xmark
+from ..datasets import (
+    fig7_query,
+    generate_xmark,
+    random_labeled_graph,
+    random_query_batch,
+)
 from ..engine import QuerySession
 from ..graph import graph_stats
 from ..reachability import select_auto_index
@@ -97,6 +107,66 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shared(args: argparse.Namespace) -> int:
+    if args.batch < 1 or args.nodes < 2 or not 0.0 <= args.overlap <= 1.0:
+        print(
+            "repro-bench: error: --batch must be >= 1, --nodes >= 2, "
+            "and --overlap in [0, 1]",
+            file=sys.stderr,
+        )
+        return 2
+    rng = random.Random(args.seed)
+    graph = random_labeled_graph(
+        args.nodes, rng, labels="abcdef", edge_prob=2.2 / args.nodes
+    )
+    batch = random_query_batch(
+        graph, rng, batch_size=args.batch, size_range=(3, 6), overlap=args.overlap
+    )
+
+    shared_session = QuerySession(graph, result_cache_size=0)
+    started = time.perf_counter()
+    shared = shared_session.evaluate_many(batch)
+    shared_ms = 1e3 * (time.perf_counter() - started)
+    started = time.perf_counter()
+    isolated = QuerySession(graph, result_cache_size=0).evaluate_many(
+        batch, share=False
+    )
+    isolated_ms = 1e3 * (time.perf_counter() - started)
+    if shared.results != isolated.results:
+        print(
+            "repro-bench: error: shared and per-query paths disagree "
+            "(this is a bug — please report the seed)",
+            file=sys.stderr,
+        )
+        return 1
+
+    ops_shared = shared.stats.downward_prune_ops
+    ops_isolated = isolated.stats.downward_prune_ops
+    saved = 1.0 - ops_shared / ops_isolated if ops_isolated else 0.0
+    print(format_table(
+        f"Shared-plan batch vs per-query compilation "
+        f"({args.batch} queries, overlap {args.overlap:.0%}, n={args.nodes})",
+        ["path", "prune_ops", "shared_occ", "subtree_hits", "ms"],
+        [
+            ["per-query", ops_isolated, 0, 0, round(isolated_ms, 2)],
+            [
+                "shared-dag",
+                ops_shared,
+                shared.stats.batch_shared_subtrees,
+                shared.stats.subtree_cache_hits,
+                round(shared_ms, 2),
+            ],
+        ],
+    ))
+    print(f"prune work saved: {saved:.0%}")
+    if args.explain:
+        # The timed session's plan cache already holds every compiled
+        # plan, so this renders without re-running the optimizer.
+        print()
+        print(shared_session.explain_batch(batch))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -129,6 +199,19 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--query-json", metavar="FILE",
                          help="explain a serialized GTPQ (JSON file) instead")
     explain.set_defaults(func=_cmd_explain)
+
+    shared = subparsers.add_parser(
+        "shared", help="shared-plan batch evaluation vs per-query compilation"
+    )
+    shared.add_argument("--batch", type=int, default=24,
+                        help="workload size (default 24)")
+    shared.add_argument("--overlap", type=float, default=0.6,
+                        help="subtree graft probability (default 0.6)")
+    shared.add_argument("--nodes", type=int, default=400,
+                        help="random graph size (default 400)")
+    shared.add_argument("--explain", action="store_true",
+                        help="also print the batch's shared-plan DAG")
+    shared.set_defaults(func=_cmd_shared)
     return parser
 
 

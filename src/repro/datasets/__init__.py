@@ -6,6 +6,8 @@ from .random_queries import (
     GeneratedQuery,
     generate_query_groups,
     random_embedded_query,
+    random_labeled_graph,
+    random_query_batch,
 )
 from .workloads import (
     FIG7_CROSS,
@@ -41,5 +43,7 @@ __all__ = [
     "generate_query_groups",
     "generate_xmark",
     "random_embedded_query",
+    "random_labeled_graph",
+    "random_query_batch",
     "table1_row",
 ]

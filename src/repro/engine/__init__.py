@@ -27,6 +27,7 @@ from .prime import compute_prime_subtree, shrink_prime_subtree
 from .prune import PruningContext, prune_downward, prune_upward
 from .results import collect_results
 from .session import BatchResult, QueryPlan, QuerySession
+from .shared import SharedExecutor
 from .stats import EvaluationStats
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "PruningContext",
     "QueryPlan",
     "QuerySession",
+    "SharedExecutor",
     "build_matching_graph",
     "collect_results",
     "compute_prime_subtree",

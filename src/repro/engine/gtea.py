@@ -245,6 +245,48 @@ class GTEA:
             stats.candidates_after_downward = {
                 node_id: len(nodes) for node_id, nodes in mats.items()
             }
+        stats.downward_prune_ops += context.downward_ops
+        return self._execute_after_downward(
+            query, context, mats, stats, group_nodes, output_structures
+        )
+
+    def execute_from_downward(
+        self,
+        plan: CompiledPlan,
+        mats: MatSets,
+        stats: EvaluationStats | None = None,
+    ) -> tuple[ResultSet, EvaluationStats]:
+        """Resume a compiled plan *after* the downward prune phase.
+
+        The shared batch executor (:mod:`repro.engine.shared`) computes
+        downward-pruned candidate sets once per distinct subtree across a
+        batch and hands each query its per-node slices here; this method
+        runs the remaining pipeline (upward prune → matching graph →
+        CollectResults) against the plan's rewritten query.  ``mats`` must
+        hold the downward match set of every node of ``plan.query``.
+        """
+        if stats is None:
+            stats = EvaluationStats()
+        query = plan.query
+        reach = self.reachability
+        reach.counters.reset()
+        context = PruningContext(self.graph, query, reach)
+        stats.candidates_after_downward = {
+            node_id: len(nodes) for node_id, nodes in mats.items()
+        }
+        return self._execute_after_downward(query, context, dict(mats), stats, (), None)
+
+    def _execute_after_downward(
+        self,
+        query: GTPQ,
+        context: PruningContext,
+        mats: MatSets,
+        stats: EvaluationStats,
+        group_nodes: tuple[str, ...],
+        output_structures: list[list[str]] | None,
+    ) -> tuple[ResultSet | dict[int, ResultSet], EvaluationStats]:
+        """Upward prune → matching graph → CollectResults."""
+        empty: ResultSet = set()
         # The paper's Procedure 6 reads candidates a second time during the
         # bottom-up sweep; mirror that in the #input metric.
         stats.input_nodes += sum(stats.candidates_after_downward.values())
@@ -322,10 +364,12 @@ class GTEA:
     # Bookkeeping helpers
     # ------------------------------------------------------------------
     def _record_index_counters(self, stats: EvaluationStats) -> None:
-        """Snapshot the reachability counters into ``stats``."""
+        """Fold the reachability counters (reset at execute entry) into
+        ``stats``.  Accumulating (rather than assigning) lets the shared
+        batch executor attribute DAG-phase lookups to the same object."""
         counters = self.reachability.counters.snapshot()
-        stats.index_lookups = counters["lookups"]
-        stats.index_entries = counters["entries_scanned"]
+        stats.index_lookups += counters["lookups"]
+        stats.index_entries += counters["entries_scanned"]
 
     @staticmethod
     def _empty_answer(stats: EvaluationStats, output_structures):

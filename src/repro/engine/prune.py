@@ -54,6 +54,11 @@ class PruningContext:
             reach.index if isinstance(reach.index, ThreeHopIndex) else None
         )
         self.pred_contours: dict[str, Contour] = {}
+        #: node-level downward refinements executed through this context
+        #: (one per Procedure-6 node visit; the shared batch executor
+        #: counts its per-subtree evaluations the same way, so the two
+        #: paths are directly comparable in ``EvaluationStats``).
+        self.downward_ops = 0
 
     def dag_images(self, nodes: list[int]) -> list[int]:
         """Distinct DAG components of a set of data nodes."""
@@ -102,9 +107,14 @@ def prune_downward(
     query, index = context.query, context.index
     refined: MatSets = {}
     for node_id in order if order is not None else query.bottom_up():
+        context.downward_ops += 1
         children = query.children[node_id]
         if not children:
-            refined[node_id] = list(mats[node_id])
+            # A leaf's fext is normally TRUE, but rewrites can leave a
+            # constant FALSE behind (a dropped subtree substituted to 0);
+            # the valuation is empty either way, so evaluate it once.
+            keep = evaluate(query.fext(node_id), {}, default=False)
+            refined[node_id] = list(mats[node_id]) if keep else []
         else:
             refined[node_id] = _filter_downward(
                 context, node_id, mats[node_id], refined
@@ -119,6 +129,35 @@ def prune_downward(
                 index, context.dag_images(refined[node_id])
             )
     return refined
+
+
+def downward_step(
+    context: PruningContext,
+    node_id: str,
+    candidates: list[int],
+    refined_children: MatSets,
+) -> list[int]:
+    """One node of Procedure 6, fed with already-refined child sets.
+
+    The shared batch executor (:mod:`repro.engine.shared`) discharges one
+    downward obligation per *distinct* subtree; the refined child sets it
+    passes come from shared sub-plans rather than the same query's sweep.
+    For AD children the caller must have installed predecessor contours
+    via :func:`build_pred_contour` (3-hop index only; other indexes use
+    the generic fallback, which needs no contours).
+    """
+    context.downward_ops += 1
+    if not context.query.children[node_id]:
+        keep = evaluate(context.query.fext(node_id), {}, default=False)
+        return list(candidates) if keep else []
+    return _filter_downward(context, node_id, list(candidates), refined_children)
+
+
+def build_pred_contour(context: PruningContext, nodes: list[int]) -> Contour | None:
+    """Predecessor contour of a refined candidate set (3-hop index only)."""
+    if context.index is None:
+        return None
+    return merge_pred_lists(context.index, context.dag_images(list(nodes)))
 
 
 def _filter_downward(

@@ -14,8 +14,20 @@ three kinds of evaluation artifacts across queries:
 * a **candidate cache** — ``mat(u)`` sets keyed by the node's attribute
   predicate (:func:`repro.query.serialize.predicate_key`), shared across
   *different* queries whose nodes carry overlapping predicates;
+* a **subtree cache** — downward-pruned candidate sets keyed by the
+  canonical *subtree* fingerprint of
+  :func:`repro.query.serialize.subtree_fingerprints`, filled by the
+  shared batch path of :meth:`QuerySession.evaluate_many` and reused
+  across batches;
 * a **result cache** — full answer sets per ``(fingerprint, group
   nodes)``, invalidated when the graph mutates.
+
+Batch workloads additionally share *prune work*:
+:meth:`QuerySession.evaluate_many` compiles the batch's cold queries
+into a :class:`~repro.plan.shared.SharedPlanDAG` (one sub-plan per
+distinct rooted subtree) and executes it through
+:class:`~repro.engine.shared.SharedExecutor`, so a subtree appearing in
+five queries is pruned once, not five times.
 
 Staleness is detected through :attr:`repro.graph.digraph.DataGraph.version`:
 any ``add_node``/``add_edge`` after session creation invalidates every
@@ -38,12 +50,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..graph.digraph import DataGraph
 from ..graph.stats import GraphStats, graph_stats
-from ..plan import CompiledPlan, choose_index, compile_query
+from ..plan import CompiledPlan, choose_index, compile_batch, compile_query
 from ..query.gtpq import GTPQ
 from ..query.naive import candidate_nodes
 from ..query.serialize import (
@@ -57,6 +69,7 @@ from ..reachability.factory import build_reachability, resolve_index
 from .cache import LRUCache
 from .gtea import GTEA
 from .results import ResultSet
+from .shared import SharedExecutor
 from .stats import EvaluationStats
 
 #: anything :meth:`QuerySession.evaluate` accepts as a query.
@@ -94,11 +107,20 @@ class BatchResult:
             across the whole batch, including cache counters and the
             ``batch_queries`` / ``batch_unique_queries`` dedup accounting.
         fingerprints: the canonical fingerprint of each input query.
+        per_query: one :class:`~repro.engine.stats.EvaluationStats` per
+            input query, in input order, so cache activity (including
+            subtree-cache hits) is attributable to individual queries.
+            Shared prune work is charged to the query that first demanded
+            the subtree; other consumers record ``batch_shared_subtrees``
+            credits.  A duplicate of an earlier input carries only its
+            plan-cache probe and the result count (the batch dedup served
+            it without evaluation).
     """
 
     results: list[ResultSet]
     stats: EvaluationStats
     fingerprints: list[str]
+    per_query: list[EvaluationStats] = field(default_factory=list)
 
 
 class QuerySession:
@@ -115,6 +137,10 @@ class QuerySession:
         result_cache_size: LRU capacity of the full-result cache.  Pass
             ``0`` to disable result caching (candidate and plan reuse
             still apply) — useful for cold-path measurements.
+        subtree_cache_size: LRU capacity of the shared subtree-result
+            cache (downward-pruned candidate sets keyed by canonical
+            subtree fingerprint).  Pass ``0`` to disable cross-batch
+            subtree reuse; within-batch sharing still applies.
     """
 
     def __init__(
@@ -125,12 +151,14 @@ class QuerySession:
         plan_cache_size: int = 256,
         candidate_cache_size: int = 4096,
         result_cache_size: int = 1024,
+        subtree_cache_size: int = 4096,
     ):
         self.graph = graph
         self.default_index = index
         self.plan_cache = LRUCache(plan_cache_size)
         self.candidate_cache = LRUCache(candidate_cache_size)
         self.result_cache = LRUCache(result_cache_size)
+        self.subtree_cache = LRUCache(subtree_cache_size)
         self._reach_pool: dict[str, GraphReachability] = {}
         self._engines: dict[str, GTEA] = {}
         self._resolved_auto: str | None = None
@@ -188,6 +216,7 @@ class QuerySession:
         self.plan_cache.clear()
         self.candidate_cache.clear()
         self.result_cache.clear()
+        self.subtree_cache.clear()
         self._reach_pool.clear()
         self._engines.clear()
         self._resolved_auto = None
@@ -306,6 +335,15 @@ class QuerySession:
     def _evaluate_plan(
         self, plan: QueryPlan, group_nodes: tuple[str, ...]
     ) -> tuple[ResultSet, EvaluationStats]:
+        probed = self._probe_result_cache(plan, group_nodes)
+        if probed is not None:
+            return probed
+        return self._execute_plan(plan, group_nodes)
+
+    def _probe_result_cache(
+        self, plan: QueryPlan, group_nodes: tuple[str, ...]
+    ) -> tuple[ResultSet, EvaluationStats] | None:
+        """Serve from the result cache or the constant-empty path."""
         result_key = (plan.fingerprint, group_nodes)
         cached = self.result_cache.get(result_key)
         if cached is not None:
@@ -321,19 +359,23 @@ class QuerySession:
             stats.result_cache_misses = 1
             self.result_cache.put(result_key, frozenset())
             return set(), stats
+        return None
 
-        candidate_counters = self.candidate_cache.counters
-        hits, misses = candidate_counters.hits, candidate_counters.misses
+    def _execute_plan(
+        self, plan: QueryPlan, group_nodes: tuple[str, ...]
+    ) -> tuple[ResultSet, EvaluationStats]:
+        """Run one cold plan through its engine (no result-cache probe)."""
+        stats = EvaluationStats()
         engine = self.engine(plan.compiled.physical.index_name)
-        results, stats = engine.execute(
-            plan.compiled,
-            group_nodes=group_nodes,
-            candidate_provider=self._candidate_provider(plan),
-        )
+        with stats.record_candidate_cache(self.candidate_cache.counters):
+            results, stats = engine.execute(
+                plan.compiled,
+                group_nodes=group_nodes,
+                candidate_provider=self._candidate_provider(plan),
+                stats=stats,
+            )
         stats.result_cache_misses = 1
-        stats.candidate_cache_hits = candidate_counters.hits - hits
-        stats.candidate_cache_misses = candidate_counters.misses - misses
-        self.result_cache.put(result_key, frozenset(results))
+        self.result_cache.put((plan.fingerprint, group_nodes), frozenset(results))
         return results, stats
 
     def _candidate_provider(self, plan: QueryPlan):
@@ -356,42 +398,156 @@ class QuerySession:
         self,
         queries: Iterable[QueryLike],
         group_nodes: Sequence[str] = (),
+        *,
+        share: bool = True,
     ) -> BatchResult:
-        """Evaluate a workload, deduplicating repeated queries.
+        """Evaluate a workload, sharing plans *and* prune work.
 
-        Queries are planned first (one plan per distinct fingerprint),
+        Queries are planned first (one plan per distinct fingerprint) and
         each *unique* fingerprint is evaluated once — through the result
-        cache, so a warm session may evaluate nothing at all — and the
-        answers are fanned back out to input order.  Candidate fetching is
-        shared across the whole batch via the predicate-keyed cache.
+        cache, so a warm session may evaluate nothing at all.  With
+        ``share=True`` (the default) the remaining cold plans are batch
+        compiled into a :class:`~repro.plan.shared.SharedPlanDAG` and run
+        by :class:`~repro.engine.shared.SharedExecutor`: every *distinct
+        rooted subtree* across the batch is downward-pruned exactly once
+        (or zero times, on a subtree-cache hit from an earlier batch) and
+        its post-prune candidate set feeds every consuming query.
+        ``share=False`` restores the isolated per-query path — useful as
+        a baseline when measuring the sharing win.  Batches with group
+        nodes always use the per-query path (group evaluation runs the
+        original, pre-rewrite queries, which the DAG does not describe).
+
+        Candidate fetching is shared across the whole batch via the
+        predicate-keyed cache in either mode, and the answers are fanned
+        back out to input order.
         """
         self._ensure_fresh()
         group_key = tuple(group_nodes)
         plan_counters = self.plan_cache.counters
-        plan_hits, plan_misses = plan_counters.hits, plan_counters.misses
-        plans = [self._plan_for(query) for query in queries]
+
+        plans: list[QueryPlan] = []
+        plan_deltas: list[tuple[int, int]] = []
+        for query in queries:
+            hits, misses = plan_counters.hits, plan_counters.misses
+            plans.append(self._plan_for(query))
+            plan_deltas.append(
+                (plan_counters.hits - hits, plan_counters.misses - misses)
+            )
 
         unique: dict[str, QueryPlan] = {}
         for plan in plans:
             unique.setdefault(plan.fingerprint, plan)
 
         answers: dict[str, ResultSet] = {}
-        per_query_stats: list[EvaluationStats] = []
+        stats_by_fingerprint: dict[str, EvaluationStats] = {}
+        pending: list[QueryPlan] = []
         for fingerprint, plan in unique.items():
-            results, stats = self._evaluate_plan(plan, group_key)
-            answers[fingerprint] = results
-            per_query_stats.append(stats)
+            probed = self._probe_result_cache(plan, group_key)
+            if probed is not None:
+                answers[fingerprint], stats_by_fingerprint[fingerprint] = probed
+            else:
+                pending.append(plan)
 
-        aggregate = EvaluationStats.aggregate(per_query_stats)
-        aggregate.plan_cache_hits += plan_counters.hits - plan_hits
-        aggregate.plan_cache_misses += plan_counters.misses - plan_misses
+        if pending:
+            if share and not group_key:
+                evaluated = self._execute_shared(pending)
+            else:
+                evaluated = [self._execute_plan(plan, group_key) for plan in pending]
+            for plan, (results, stats) in zip(pending, evaluated):
+                answers[plan.fingerprint] = results
+                stats_by_fingerprint[plan.fingerprint] = stats
+
+        aggregate = EvaluationStats.aggregate(list(stats_by_fingerprint.values()))
         aggregate.batch_queries = len(plans)
         aggregate.batch_unique_queries = len(unique)
+
+        per_query: list[EvaluationStats] = []
+        seen: set[str] = set()
+        for plan, (plan_hits, plan_misses) in zip(plans, plan_deltas):
+            fingerprint = plan.fingerprint
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                stats = stats_by_fingerprint[fingerprint]
+            else:
+                # Batch dedup served this input without evaluating it.
+                stats = EvaluationStats()
+                stats.result_count = len(answers[fingerprint])
+            stats.plan_cache_hits += plan_hits
+            stats.plan_cache_misses += plan_misses
+            aggregate.plan_cache_hits += plan_hits
+            aggregate.plan_cache_misses += plan_misses
+            per_query.append(stats)
+
         return BatchResult(
             results=[set(answers[plan.fingerprint]) for plan in plans],
             stats=aggregate,
             fingerprints=[plan.fingerprint for plan in plans],
+            per_query=per_query,
         )
+
+    def _execute_shared(
+        self, plans: list[QueryPlan]
+    ) -> list[tuple[ResultSet, EvaluationStats]]:
+        """Run cold plans through the shared-plan DAG, grouped by index.
+
+        Plans are grouped by their physical index choice (one engine per
+        group — normally a single group); each group is batch compiled
+        and executed with the session's subtree and candidate caches.
+        """
+        by_index: dict[str, list[int]] = {}
+        for position, plan in enumerate(plans):
+            by_index.setdefault(plan.compiled.physical.index_name, []).append(position)
+
+        outcomes: list[tuple[ResultSet, EvaluationStats] | None] = [None] * len(plans)
+        for index_name, positions in by_index.items():
+            batch = compile_batch(
+                self.graph, plans=[plans[p].compiled for p in positions]
+            )
+            executor = SharedExecutor(
+                self.engine(index_name),
+                candidate_provider=self._shared_candidate_provider(),
+                subtree_cache=self.subtree_cache,
+                candidate_counters=self.candidate_cache.counters,
+            )
+            for position, outcome in zip(positions, executor.execute(batch)):
+                outcomes[position] = outcome
+
+        finalized: list[tuple[ResultSet, EvaluationStats]] = []
+        for plan, outcome in zip(plans, outcomes):
+            results, stats = outcome
+            stats.result_cache_misses += 1
+            self.result_cache.put((plan.fingerprint, ()), frozenset(results))
+            finalized.append((results, stats))
+        return finalized
+
+    def explain_batch(self, queries: Iterable[QueryLike]) -> str:
+        """The shared-plan DAG of a workload, rendered.
+
+        Plans each query (through the plan cache), batch compiles them
+        and renders the sharing structure: distinct sub-plans, their
+        consumers, and per-query executor routing.
+        """
+        self._ensure_fresh()
+        plans = [self._plan_for(query) for query in queries]
+        batch = compile_batch(self.graph, plans=[plan.compiled for plan in plans])
+        return batch.explain()
+
+    def _shared_candidate_provider(self):
+        """A plan-agnostic ``(query, node_id) -> mat(u)`` cache source.
+
+        Unlike :meth:`_candidate_provider` it computes predicate keys on
+        the fly, so one provider serves every plan of a shared batch.
+        """
+
+        def provider(query: GTPQ, node_id: str) -> list[int]:
+            key = predicate_key(query.attribute(node_id))
+            nodes = self.candidate_cache.get(key)
+            if nodes is None:
+                nodes = tuple(candidate_nodes(self.graph, query, node_id))
+                self.candidate_cache.put(key, nodes)
+            return list(nodes)
+
+        return provider
 
     # ------------------------------------------------------------------
     # Introspection
@@ -407,6 +563,10 @@ class QuerySession:
             "result": {
                 **self.result_cache.counters.snapshot(),
                 "size": len(self.result_cache),
+            },
+            "subtree": {
+                **self.subtree_cache.counters.snapshot(),
+                "size": len(self.subtree_cache),
             },
             "indexes": {"pooled": len(self._reach_pool)},
         }

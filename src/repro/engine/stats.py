@@ -26,6 +26,10 @@ class EvaluationStats:
     #: tuple-shaped intermediates (path solutions, join results) — used by
     #: the baseline algorithms; GTEA keeps this at zero.
     intermediate_tuples: int = 0
+    #: node-level downward refinements executed (Procedure-6 node visits;
+    #: the shared batch path counts one per distinct subtree evaluated, so
+    #: sharing shows up directly as a drop in this counter).
+    downward_prune_ops: int = 0
     result_count: int = 0
     candidates_initial: dict[str, int] = field(default_factory=dict)
     candidates_after_downward: dict[str, int] = field(default_factory=dict)
@@ -45,9 +49,16 @@ class EvaluationStats:
     candidate_cache_misses: int = 0
     result_cache_hits: int = 0
     result_cache_misses: int = 0
+    #: shared subtree-result cache (downward-pruned candidate sets keyed
+    #: by canonical subtree fingerprint, per graph version).
+    subtree_cache_hits: int = 0
+    subtree_cache_misses: int = 0
     #: batch accounting of :meth:`QuerySession.evaluate_many`.
     batch_queries: int = 0
     batch_unique_queries: int = 0
+    #: subtree occurrences served by another query's prune work within
+    #: one shared batch execution (DAG dedup, not a cache).
+    batch_shared_subtrees: int = 0
 
     @property
     def intermediate_cost(self) -> int:
@@ -63,25 +74,36 @@ class EvaluationStats:
 
     @property
     def cache_hits(self) -> int:
-        """Total hits across the plan/candidate/result caches."""
+        """Total hits across the plan/candidate/result/subtree caches."""
         return (
             self.plan_cache_hits
             + self.candidate_cache_hits
             + self.result_cache_hits
+            + self.subtree_cache_hits
         )
 
     @property
     def cache_misses(self) -> int:
-        """Total misses across the plan/candidate/result caches."""
+        """Total misses across the plan/candidate/result/subtree caches."""
         return (
             self.plan_cache_misses
             + self.candidate_cache_misses
             + self.result_cache_misses
+            + self.subtree_cache_misses
         )
 
     def time_phase(self, name: str):
         """Context manager accumulating wall time into ``phase_seconds``."""
         return _PhaseTimer(self, name)
+
+    def record_candidate_cache(self, counters):
+        """Context manager folding the hit/miss delta of ``counters`` (a
+        :class:`~repro.engine.cache.CacheCounters`, or None for a no-op)
+        into the candidate-cache fields.  Used wherever candidate fetches
+        run behind a shared cache whose activity must be attributed to
+        one evaluation — the session's per-query path and both fetch
+        sites of the shared batch executor."""
+        return _CandidateCacheDelta(self, counters)
 
     def merge(self, other: "EvaluationStats") -> None:
         """Fold ``other`` into this object (used by batch aggregation).
@@ -96,6 +118,7 @@ class EvaluationStats:
         self.matching_graph_nodes += other.matching_graph_nodes
         self.matching_graph_edges += other.matching_graph_edges
         self.intermediate_tuples += other.intermediate_tuples
+        self.downward_prune_ops += other.downward_prune_ops
         self.result_count += other.result_count
         self.evaluations += max(other.evaluations, 1)
         self.plan_cache_hits += other.plan_cache_hits
@@ -104,8 +127,11 @@ class EvaluationStats:
         self.candidate_cache_misses += other.candidate_cache_misses
         self.result_cache_hits += other.result_cache_hits
         self.result_cache_misses += other.result_cache_misses
+        self.subtree_cache_hits += other.subtree_cache_hits
+        self.subtree_cache_misses += other.subtree_cache_misses
         self.batch_queries += other.batch_queries
         self.batch_unique_queries += other.batch_unique_queries
+        self.batch_shared_subtrees += other.batch_shared_subtrees
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
@@ -128,7 +154,31 @@ class EvaluationStats:
         if self.cache_hits or self.cache_misses:
             row["cache_hits"] = self.cache_hits
             row["cache_misses"] = self.cache_misses
+        if self.downward_prune_ops:
+            row["prune_ops"] = self.downward_prune_ops
+        if self.batch_shared_subtrees:
+            row["shared_subtrees"] = self.batch_shared_subtrees
         return row
+
+
+class _CandidateCacheDelta:
+    def __init__(self, stats: EvaluationStats, counters):
+        self._stats = stats
+        self._counters = counters
+        self._hits = 0
+        self._misses = 0
+
+    def __enter__(self):
+        if self._counters is not None:
+            self._hits = self._counters.hits
+            self._misses = self._counters.misses
+        return self
+
+    def __exit__(self, *exc):
+        if self._counters is not None:
+            self._stats.candidate_cache_hits += self._counters.hits - self._hits
+            self._stats.candidate_cache_misses += self._counters.misses - self._misses
+        return False
 
 
 class _PhaseTimer:

@@ -11,6 +11,13 @@ cost estimates).  :class:`repro.engine.GTEA` executes compiled plans;
 """
 
 from .compile import CompiledPlan, compile_query
+from .shared import (
+    BatchPlan,
+    SharedPlanDAG,
+    SharedSubtree,
+    build_shared_dag,
+    compile_batch,
+)
 from .cost import (
     AUTO_NEAR_TREE_RATIO,
     AUTO_TC_MAX_NODES,
@@ -26,6 +33,7 @@ from .physical import PhysicalPlan, build_physical_plan
 __all__ = [
     "AUTO_NEAR_TREE_RATIO",
     "AUTO_TC_MAX_NODES",
+    "BatchPlan",
     "CandidateSource",
     "CompiledPlan",
     "CostEstimate",
@@ -33,9 +41,13 @@ __all__ = [
     "NormalizedQuery",
     "PhysicalPlan",
     "PruneObligation",
+    "SharedPlanDAG",
+    "SharedSubtree",
     "build_logical_plan",
     "build_physical_plan",
+    "build_shared_dag",
     "choose_index",
+    "compile_batch",
     "compile_query",
     "estimate_candidates",
     "estimate_executor",

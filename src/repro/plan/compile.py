@@ -41,6 +41,11 @@ class CompiledPlan:
     def unsatisfiable(self) -> bool:
         return not self.normalized.satisfiable
 
+    @property
+    def subtree_fingerprints(self) -> dict[str, str]:
+        """Per rewritten-query node, its canonical subtree fingerprint."""
+        return self.logical.subtree_fingerprint_map
+
     def explain(self) -> str:
         """Render every compilation stage, one section per phase."""
         sections = [

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from ..graph.digraph import DataGraph
 from ..query.gtpq import GTPQ, EdgeType
+from ..query.serialize import subtree_fingerprints
 from .cost import estimate_candidates
 from .normalize import NormalizedQuery
 
@@ -60,6 +61,10 @@ class LogicalPlan:
         obligations: the prune obligations, downward then upward.
         outputs: output node ids of the rewritten query.
         total_candidate_estimate: sum of the per-node estimates.
+        subtree_fingerprints: per query node, the canonical fingerprint
+            of its rooted subtree (:func:`repro.query.serialize.subtree_fingerprints`)
+            — the sharing key of the batch compiler in
+            :mod:`repro.plan.shared`.
     """
 
     query: GTPQ
@@ -68,6 +73,12 @@ class LogicalPlan:
     obligations: tuple[PruneObligation, ...]
     outputs: tuple[str, ...]
     total_candidate_estimate: int
+    subtree_fingerprints: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def subtree_fingerprint_map(self) -> dict[str, str]:
+        """``node id -> subtree fingerprint`` as a dictionary."""
+        return dict(self.subtree_fingerprints)
 
     def explain_lines(self) -> list[str]:
         lines = ["candidate sources:"]
@@ -84,6 +95,12 @@ class LogicalPlan:
         for obligation in self.obligations:
             lines.append(f"  [{obligation.phase}] {obligation.node_id}: {obligation.test}")
         lines.append(f"outputs: {tuple(self.outputs)}")
+        if self.subtree_fingerprints:
+            distinct = len({fp for _, fp in self.subtree_fingerprints})
+            lines.append(
+                f"subtrees: {len(self.subtree_fingerprints)} rooted, "
+                f"{distinct} distinct fingerprints"
+            )
         return lines
 
 
@@ -164,4 +181,5 @@ def build_logical_plan(
         obligations=tuple(obligations),
         outputs=tuple(query.outputs),
         total_candidate_estimate=sum(estimates.values()),
+        subtree_fingerprints=tuple(subtree_fingerprints(query).items()),
     )

@@ -162,6 +162,23 @@ def normalize(query: GTPQ, *, minimize: bool = True) -> NormalizedQuery:
             output_mapping = dict(zip(query.outputs, minimized.outputs))
         else:  # pragma: no cover - defensive: keep the sound rewrite only
             notes.append("minimization dropped an output column; rewrite discarded")
+        # Dropping an unsatisfiable subtree substitutes its variable to 0,
+        # which can collapse an ancestor's fs to FALSE — a constant-empty
+        # query Theorem 1 could not see before the rewrite (it treats
+        # child variables as independent, so inter-child containment such
+        # as a PC child entailing an AD sibling only surfaces once
+        # minimization folds it in).  Re-check the rewritten query.
+        if rewritten is not simplified and not is_query_satisfiable(rewritten):
+            notes.append("minimization exposed unsatisfiability -> constant-empty plan")
+            return NormalizedQuery(
+                original=query,
+                rewritten=rewritten,
+                satisfiable=False,
+                output_mapping=output_mapping,
+                removed_nodes=removed,
+                simplified_predicates=simplified_ids,
+                notes=tuple(notes),
+            )
     return NormalizedQuery(
         original=query,
         rewritten=rewritten,

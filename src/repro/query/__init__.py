@@ -12,6 +12,8 @@ from .serialize import (
     query_from_json,
     query_to_dict,
     query_to_json,
+    subtree_fingerprint,
+    subtree_fingerprints,
 )
 from .xpath import XPathSyntaxError, parse_xpath_query
 
@@ -35,4 +37,6 @@ __all__ = [
     "query_from_json",
     "query_to_dict",
     "query_to_json",
+    "subtree_fingerprint",
+    "subtree_fingerprints",
 ]

@@ -86,24 +86,27 @@ def _canonical_atoms(predicate: AttributePredicate) -> list[list[str]]:
     )
 
 
-def _canonical_formula(formula: Formula) -> str:
+def _canonical_formula(formula: Formula, rename: dict[str, str] | None = None) -> str:
     """Order-independent rendering of a structural formula.
 
     ``And``/``Or`` operands are sorted by their canonical form (the smart
     constructors already flatten and deduplicate them), so conjunctions
     and disjunctions built in different operand orders canonicalize
     identically.  Fingerprinting only — serialization keeps ``str(fs)``.
+
+    ``rename`` substitutes variable names before rendering; the subtree
+    fingerprints use it to replace child node ids with content hashes.
     """
     if isinstance(formula, Var):
-        return formula.name
+        return rename.get(formula.name, formula.name) if rename else formula.name
     if isinstance(formula, Const):
         return "1" if formula.value else "0"
     if isinstance(formula, Not):
-        return f"!({_canonical_formula(formula.child)})"
+        return f"!({_canonical_formula(formula.child, rename)})"
     if isinstance(formula, (And, Or)):
         separator = " & " if isinstance(formula, And) else " | "
         return "(" + separator.join(
-            sorted(_canonical_formula(child) for child in formula.children)
+            sorted(_canonical_formula(child, rename) for child in formula.children)
         ) + ")"
     return str(formula)  # future connectives: fall back to display form
 
@@ -141,6 +144,48 @@ def canonical_query_dict(query: GTPQ) -> dict[str, Any]:
             entry["fs"] = _canonical_formula(fs)
         nodes.append(entry)
     return {"nodes": nodes, "outputs": list(query.outputs)}
+
+
+def subtree_fingerprints(query: GTPQ) -> dict[str, str]:
+    """Canonical fingerprint of every rooted subtree of ``query``.
+
+    Two subtrees — in the same query or in *different* queries — share a
+    fingerprint iff they impose the same downward constraint: the same
+    attribute predicate at the root and the same ``fext`` over children
+    with matching edge types and (recursively) matching child subtrees.
+    Node ids and sibling order do not participate: each child variable of
+    ``fext(u)`` is renamed to ``"<edge>:<child fingerprint>"`` before the
+    order-independent rendering, so the hash is stable under renaming and
+    reordering.
+
+    Equal fingerprints imply equal *downward match sets* over any data
+    graph (the valuation of a child variable depends only on its edge
+    type and the child's downward match set), which is what lets the
+    batch compiler of :mod:`repro.plan.shared` execute one shared prune
+    per distinct subtree.  The converse does not hold — semantically
+    equivalent but structurally different subtrees may hash apart, which
+    costs sharing but never correctness.
+    """
+    fingerprints: dict[str, str] = {}
+    for node_id in query.bottom_up():
+        rename = {
+            child_id: f"{query.edge_type(child_id).value}:{fingerprints[child_id]}"
+            for child_id in query.children[node_id]
+        }
+        payload = json.dumps(
+            [
+                _canonical_atoms(query.attribute(node_id)),
+                _canonical_formula(query.fext(node_id), rename),
+            ],
+            separators=(",", ":"),
+        )
+        fingerprints[node_id] = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return fingerprints
+
+
+def subtree_fingerprint(query: GTPQ, node_id: str) -> str:
+    """The canonical fingerprint of the subtree rooted at ``node_id``."""
+    return subtree_fingerprints(query)[node_id]
 
 
 def query_fingerprint(query: GTPQ) -> str:

@@ -84,3 +84,45 @@ class TestQueryGroups:
         sizes_a = [g.result_size for g in a["small"][5]]
         sizes_b = [g.result_size for g in b["small"][5]]
         assert sizes_a == sizes_b
+
+
+class TestRandomBatchGenerators:
+    def test_random_labeled_graph_is_deterministic_and_cyclic_capable(self):
+        import random
+
+        from repro.datasets import random_labeled_graph
+
+        a = random_labeled_graph(12, random.Random(3))
+        b = random_labeled_graph(12, random.Random(3))
+        assert [a.label(v) for v in a.nodes()] == [b.label(v) for v in b.nodes()]
+        assert a.num_edges == b.num_edges
+
+    def test_batch_preserves_multi_character_labels(self):
+        """Regression: labels were flattened to characters, so graphs with
+        multi-character labels (XMark) only ever got unmatchable queries."""
+        import random
+
+        from repro.datasets import generate_xmark, random_query_batch
+
+        graph = generate_xmark(scale=0.02, seed=97).graph
+        real_labels = {graph.label(v) for v in graph.nodes()}
+        batch = random_query_batch(graph, random.Random(1), batch_size=4)
+        for query in batch:
+            for node_id in query.nodes:
+                atoms = query.attribute(node_id).atoms
+                assert len(atoms) == 1
+                assert atoms[0][2] in real_labels
+
+    def test_batch_overlap_produces_shared_fingerprints(self):
+        import random
+
+        from repro.datasets import random_labeled_graph, random_query_batch
+        from repro.query import subtree_fingerprints
+
+        rng = random.Random(9)
+        graph = random_labeled_graph(12, rng)
+        batch = random_query_batch(graph, rng, batch_size=8, overlap=0.8)
+        fingerprints = [
+            fp for query in batch for fp in subtree_fingerprints(query).values()
+        ]
+        assert len(set(fingerprints)) < len(fingerprints)

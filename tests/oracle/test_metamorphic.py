@@ -1,0 +1,79 @@
+"""Metamorphic properties of shared batch evaluation.
+
+Three relations that must hold for *any* workload, checked over seeded
+random batches:
+
+* **batch-order invariance** — permuting the batch permutes the answers
+  and nothing else;
+* **singleton consistency** — a one-query batch equals single-query
+  evaluation (shared machinery adds no semantics);
+* **mutation freshness** — after the graph mutates (version bump), a
+  re-evaluated batch never serves stale shared subtree results.
+"""
+
+import random
+
+from repro.datasets import random_labeled_graph, random_query_batch
+from repro.engine import GTEA, QuerySession
+from repro.query import evaluate_naive
+
+
+def _case(seed, *, batch_size=6, overlap=0.6):
+    rng = random.Random(seed)
+    graph = random_labeled_graph(rng.randint(8, 14), rng)
+    batch = random_query_batch(graph, rng, batch_size=batch_size, overlap=overlap)
+    return graph, batch
+
+
+def test_batch_order_invariance():
+    for seed in range(25):
+        graph, batch = _case(seed)
+        baseline = QuerySession(graph).evaluate_many(batch).results
+        order = list(range(len(batch)))
+        random.Random(seed + 1).shuffle(order)
+        permuted = [batch[i] for i in order]
+        shuffled = QuerySession(graph).evaluate_many(permuted).results
+        for new_position, original_position in enumerate(order):
+            assert shuffled[new_position] == baseline[original_position]
+
+
+def test_singleton_batch_equals_single_query_evaluation():
+    for seed in range(25):
+        graph, batch = _case(seed, batch_size=3)
+        for query in batch:
+            as_batch = QuerySession(graph).evaluate_many([query])
+            assert len(as_batch.results) == 1
+            assert as_batch.results[0] == QuerySession(graph).evaluate(query)
+            assert as_batch.results[0] == GTEA(graph).evaluate(query)
+
+
+def test_graph_mutation_never_serves_stale_subtree_results():
+    for seed in range(15):
+        graph, batch = _case(seed)
+        session = QuerySession(graph)
+        session.evaluate_many(batch)
+        assert len(session.subtree_cache) > 0
+
+        # Mutate: a fresh labeled node wired under a random existing
+        # node, so downward match sets can genuinely change.
+        rng = random.Random(seed + 10_000)
+        new_node = graph.add_node(label=rng.choice("abcd"))
+        graph.add_edge(rng.randrange(new_node), new_node)
+
+        refreshed = session.evaluate_many(batch)
+        assert len(session.subtree_cache) > 0  # repopulated, not stale
+        assert session.subtree_cache.counters.invalidations >= 1
+        for query, answer in zip(batch, refreshed.results):
+            assert answer == evaluate_naive(query, graph)
+
+
+def test_repeated_batch_is_pure():
+    """Evaluating the same batch twice yields identical answers (the
+    second pass is served by caches; staleness would show here)."""
+    for seed in range(10):
+        graph, batch = _case(seed)
+        session = QuerySession(graph)
+        first = session.evaluate_many(batch)
+        second = session.evaluate_many(batch)
+        assert first.results == second.results
+        assert second.stats.input_nodes == 0  # all result-cache hits

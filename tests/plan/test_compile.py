@@ -246,3 +246,67 @@ class TestCompiledPlan:
         assert isinstance(plan, CompiledPlan)
         with pytest.raises(AttributeError):
             plan.physical = None
+
+
+class TestMinimizationExposedUnsatisfiability:
+    """Regression: found by the randomized differential harness.
+
+    ``fs(n1) = pc_c & !ad_c`` is propositionally satisfiable (Theorem 1
+    treats child variables as independent) but structurally empty: a PC
+    child with label c entails an AD descendant with label c.
+    Minimization folds the containment in and collapses ``fs`` to FALSE
+    — which must surface as a constant-empty plan, not as a rewritten
+    query whose now-leaf node silently matches everything.
+    """
+
+    @staticmethod
+    def pc_entails_ad_query():
+        return (
+            QueryBuilder()
+            .backbone("n0", label="d")
+            .predicate("n1", parent="n0", label="a")
+            .predicate("n2", parent="n1", edge="pc", label="c")
+            .predicate("n3", parent="n1", edge="ad", label="c")
+            .structural("n0", "n1")
+            .structural("n1", "n2 & !n3")
+            .outputs("n0")
+            .build()
+        )
+
+    def test_normalize_recheck_marks_plan_unsatisfiable(self):
+        plan = compile_query(chain_graph("dac"), self.pc_entails_ad_query())
+        assert plan.unsatisfiable
+        assert plan.physical.executor == "constant-empty"
+        assert any("exposed unsatisfiability" in note for note in plan.normalized.notes)
+
+    def test_evaluation_matches_oracle(self):
+        from repro.engine import GTEA
+        from repro.query import evaluate_naive
+
+        graph = DataGraph.from_edges("dacdc", [(0, 1), (1, 2), (3, 4)])
+        query = self.pc_entails_ad_query()
+        assert evaluate_naive(query, graph) == set()
+        assert GTEA(graph).evaluate(query) == set()
+        assert GTEA(graph, optimize=False).evaluate(query) == set()
+
+    def test_prune_downward_respects_constant_false_leaf_fext(self):
+        """The executor-level half of the fix, exercised directly: a leaf
+        whose ``fs`` collapsed to FALSE must refine to the empty set."""
+        from repro.engine import GTEA
+        from repro.engine.prune import PruningContext, downward_step, prune_downward
+
+        graph = chain_graph("aab")
+        query = (
+            QueryBuilder()
+            .backbone("r", label="a")
+            .backbone("x", parent="r", label="b")
+            .structural("x", "0")
+            .outputs("r")
+            .build()
+        )
+        context = PruningContext(graph, query, GTEA(graph).reachability)
+        mats = {"r": [0, 1], "x": [2]}
+        refined = prune_downward(context, mats)
+        assert refined["x"] == []
+        assert refined["r"] == []
+        assert downward_step(context, "x", [2], {}) == []

@@ -218,3 +218,26 @@ class TestExplainSurface:
         err = capsys.readouterr().err
         assert code == 2
         assert "unknown index" in err
+
+    def test_cli_shared_subcommand(self, capsys):
+        code = bench_main([
+            "--seed", "23", "shared",
+            "--batch", "8", "--nodes", "120", "--explain",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shared-dag" in out
+        assert "prune work saved" in out
+        assert "== shared plan DAG ==" in out
+
+    def test_cli_shared_rejects_bad_overlap(self, capsys):
+        code = bench_main(["shared", "--overlap", "1.5"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--overlap" in err
+
+    def test_cli_shared_rejects_bad_nodes(self, capsys):
+        code = bench_main(["shared", "--nodes", "0"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--nodes" in err

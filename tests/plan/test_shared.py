@@ -1,0 +1,97 @@
+"""Unit tests of the batch compiler: SharedPlanDAG construction."""
+
+from repro.graph import DataGraph
+from repro.plan import compile_batch, compile_query
+from repro.query import AttributePredicate, QueryBuilder
+
+
+def chain_graph(labels="aabbcc"):
+    edges = [(i, i + 1) for i in range(len(labels) - 1)]
+    return DataGraph.from_edges(labels, edges)
+
+
+def query_ab():
+    return (
+        QueryBuilder()
+        .backbone("r", label="a")
+        .backbone("x", parent="r", label="b")
+        .predicate("p", parent="x", label="c")
+        .outputs("r", "x")
+        .build()
+    )
+
+
+def query_ab_under_root():
+    return (
+        QueryBuilder()
+        .backbone("t", label="c")
+        .backbone("u", parent="t", label="a")
+        .backbone("v", parent="u", label="b")
+        .predicate("w", parent="v", label="c")
+        .outputs("t", "v")
+        .build()
+    )
+
+
+def unsat_query():
+    return (
+        QueryBuilder()
+        .backbone("r", label="a")
+        .predicate("p", parent="r", label="b")
+        .structural("r", "p & !p")
+        .outputs("r")
+        .build()
+    )
+
+
+class TestBuildSharedDag:
+    def test_dedups_identical_subtrees_across_queries(self):
+        batch = compile_batch(chain_graph(), [query_ab(), query_ab_under_root()])
+        dag = batch.dag
+        assert dag.total_occurrences == 7
+        assert dag.distinct_subtrees == 4
+        assert dag.shared_occurrences == 3
+        shared = [subtree for subtree in dag.subtrees if subtree.shared]
+        assert {len(s.occurrences) for s in shared} == {2}
+
+    def test_topological_order_children_before_parents(self):
+        batch = compile_batch(chain_graph(), [query_ab(), query_ab_under_root()])
+        seen: set[str] = set()
+        for subtree in batch.dag.subtrees:
+            assert all(child in seen for child in subtree.children)
+            seen.add(subtree.fingerprint)
+
+    def test_exemplar_is_first_occurrence_in_batch_order(self):
+        batch = compile_batch(chain_graph(), [query_ab(), query_ab_under_root()])
+        for subtree in batch.dag.subtrees:
+            assert subtree.exemplar == subtree.occurrences[0]
+
+    def test_unsatisfiable_plans_do_not_participate(self):
+        batch = compile_batch(chain_graph(), [query_ab(), unsat_query()])
+        assert batch.plans[1].unsatisfiable
+        assert batch.dag.node_fingerprints[1] == {}
+        assert batch.dag.total_occurrences == 3  # query_ab only
+
+    def test_precompiled_plans_are_reused(self):
+        graph = chain_graph()
+        plans = [compile_query(graph, query_ab())]
+        batch = compile_batch(graph, plans=plans)
+        assert batch.plans[0] is plans[0]
+
+    def test_explain_names_consumers(self):
+        batch = compile_batch(chain_graph(), [query_ab(), query_ab_under_root()])
+        text = batch.explain()
+        assert "q0:r" in text and "q1:u" in text
+        assert "executor=" in text
+
+
+class TestLogicalPlanFingerprints:
+    def test_compiled_plan_exposes_subtree_fingerprints(self):
+        plan = compile_query(chain_graph(), query_ab())
+        fingerprints = plan.subtree_fingerprints
+        assert set(fingerprints) == set(plan.query.nodes)
+        assert len(set(fingerprints.values())) == 3
+
+    def test_explain_mentions_distinct_subtrees(self):
+        plan = compile_query(chain_graph(), query_ab())
+        assert "3 distinct fingerprints" in plan.explain()

@@ -9,6 +9,8 @@ from repro.query import (
     query_from_json,
     query_to_dict,
     query_to_json,
+    subtree_fingerprint,
+    subtree_fingerprints,
 )
 
 
@@ -107,3 +109,84 @@ class TestSerializationRoundTrip:
         assert set(rebuilt.nodes) == set(query.nodes)
         assert rebuilt.parent == query.parent
         assert str(rebuilt.fs("x")) == str(query.fs("x"))
+
+
+class TestSubtreeFingerprints:
+    def test_node_ids_do_not_participate(self):
+        renamed = (
+            QueryBuilder()
+            .backbone("root", predicate=AttributePredicate.label("a"))
+            .backbone("body", parent="root", predicate=AttributePredicate.label("b"))
+            .predicate("c1", parent="body", predicate=AttributePredicate.label("c"))
+            .predicate("c2", parent="body", predicate=AttributePredicate.label("d"))
+            .structural("body", "c1 & !c2")
+            .outputs("root", "body")
+            .build()
+        )
+        base_fps = subtree_fingerprints(build_query())
+        renamed_fps = subtree_fingerprints(renamed)
+        assert base_fps["r"] == renamed_fps["root"]
+        assert base_fps["x"] == renamed_fps["body"]
+        assert base_fps["p"] == renamed_fps["c1"]
+        assert base_fps["q"] == renamed_fps["c2"]
+
+    def test_sibling_order_does_not_participate(self):
+        first = subtree_fingerprints(build_query(("p", "q")))
+        second = subtree_fingerprints(build_query(("q", "p")))
+        assert first == second
+
+    def test_edge_type_into_a_child_participates(self):
+        def variant(edge):
+            return (
+                QueryBuilder()
+                .backbone("r", predicate=AttributePredicate.label("a"))
+                .predicate(
+                    "p", parent="r", edge=edge, predicate=AttributePredicate.label("c")
+                )
+                .outputs("r")
+                .build()
+            )
+
+        ad = subtree_fingerprints(variant("ad"))
+        pc = subtree_fingerprints(variant("pc"))
+        assert ad["p"] == pc["p"]  # the leaf itself is identical
+        assert ad["r"] != pc["r"]  # but the parent constraint differs
+
+    def test_structural_formula_participates(self):
+        conjunctive = build_query()  # fs(x) = p & !q
+        disjunctive = (
+            QueryBuilder()
+            .backbone("r", predicate=AttributePredicate.label("a"))
+            .backbone("x", parent="r", predicate=AttributePredicate.label("b"))
+            .predicate("p", parent="x", predicate=AttributePredicate.label("c"))
+            .predicate("q", parent="x", predicate=AttributePredicate.label("d"))
+            .structural("x", "p | !q")
+            .outputs("r", "x")
+            .build()
+        )
+        assert (
+            subtree_fingerprints(conjunctive)["x"]
+            != subtree_fingerprints(disjunctive)["x"]
+        )
+
+    def test_cross_query_sharing_of_identical_subtrees(self):
+        """The same b[c]-pattern under different roots shares a fingerprint."""
+        other = (
+            QueryBuilder()
+            .backbone("t", predicate=AttributePredicate.label("e"))
+            .backbone("u", parent="t", predicate=AttributePredicate.label("b"))
+            .predicate("v", parent="u", predicate=AttributePredicate.label("c"))
+            .predicate("w", parent="u", predicate=AttributePredicate.label("d"))
+            .structural("u", "v & !w")
+            .outputs("t")
+            .build()
+        )
+        assert subtree_fingerprint(build_query(), "x") == subtree_fingerprint(
+            other, "u"
+        )
+
+    def test_convenience_accessor_matches_bulk_map(self):
+        query = build_query()
+        fps = subtree_fingerprints(query)
+        for node_id in query.nodes:
+            assert subtree_fingerprint(query, node_id) == fps[node_id]
