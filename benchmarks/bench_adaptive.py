@@ -1,0 +1,67 @@
+"""Adaptive prune reordering: runtime sizes beat compile-time estimates.
+
+The skewed workload of ``repro.datasets.skewed_workload`` is built so
+label statistics mislead the planner: a heavy-label child is actually
+empty, an unpinned-attribute child is actually tiny.  Every query runs
+through the same compiled plans twice — the static operator pipeline
+(compile-time prune order) and the adaptive one (remaining obligations
+re-sorted by actual post-prune set sizes, with the backbone-empty early
+exit) — and the headline metric is ``downward_prune_ops`` actually
+executed.  Answers are asserted identical.
+
+Acceptance bar: the adaptive executor must cut prune ops by >= 10% on
+this workload and change the executed order on at least one query.
+
+Results land in ``benchmarks/reports/adaptive.json`` (machine-readable)
+and as a table on stdout.
+"""
+
+import json
+import pathlib
+
+from repro.bench import format_table, measure_adaptive
+from repro.datasets import skewed_workload
+
+from .conftest import emit_report
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: workload scale sweep — queries triple with ``repeats``.
+SCALES = ((4, 8), (8, 12))
+SEED = 31
+
+
+def test_adaptive_reordering_report():
+    rows = []
+    payload = {"seed": SEED, "scales": {}}
+    for scale, repeats in SCALES:
+        graph, queries = skewed_workload(scale=scale, repeats=repeats, seed=SEED)
+        measurement = measure_adaptive(graph, queries)
+        assert measurement.mismatches == 0
+        row = measurement.row()
+        rows.append([f"{scale}x{repeats}", *row.values()])
+        payload["scales"][f"{scale}x{repeats}"] = {
+            "graph_nodes": graph.num_nodes,
+            **row,
+        }
+        # Acceptance bar: >= 10% prune-op reduction, and the runtime
+        # order must actually differ from the compile-time order.
+        assert measurement.prune_ops_saved >= 0.10
+        assert measurement.reordered_queries >= 1
+        assert measurement.early_exits >= 1
+
+    emit_report(
+        "adaptive",
+        format_table(
+            "Adaptive prune reordering vs static plan order (skewed workload)",
+            [
+                "scale", "queries", "ops_static", "ops_adaptive", "ops_saved",
+                "reordered", "early_exits", "static_ms", "adaptive_ms",
+            ],
+            rows,
+        ),
+    )
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / "adaptive.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

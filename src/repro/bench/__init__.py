@@ -1,19 +1,23 @@
 """Benchmark support (S9 in DESIGN.md)."""
 
 from .harness import (
+    AdaptiveMeasurement,
     AlgorithmSuite,
     Measurement,
     WarmColdMeasurement,
     format_table,
     mean,
+    measure_adaptive,
     measure_warm_cold,
 )
 
 __all__ = [
+    "AdaptiveMeasurement",
     "AlgorithmSuite",
     "Measurement",
     "WarmColdMeasurement",
     "format_table",
     "mean",
+    "measure_adaptive",
     "measure_warm_cold",
 ]

@@ -9,7 +9,10 @@ Subcommands:
   paper workload query, or of a serialized GTPQ passed as JSON;
 * ``shared`` — batch evaluation through the shared-plan DAG vs the
   per-query path on a synthetic overlapping workload, plus the batch's
-  sharing structure (``QuerySession.explain_batch``).
+  sharing structure (``QuerySession.explain_batch``);
+* ``adaptive`` — the adaptive operator pipeline (runtime prune
+  reordering + backbone-empty early exit) vs the static plan order on
+  the skewed workload whose label statistics mislead the estimates.
 
 Installed as a console script by ``pip install .``; run ``repro-bench
 --help`` for options.
@@ -27,11 +30,12 @@ from ..datasets import (
     generate_xmark,
     random_labeled_graph,
     random_query_batch,
+    skewed_workload,
 )
 from ..engine import QuerySession
 from ..graph import graph_stats
 from ..reachability import select_auto_index
-from .harness import format_table, measure_warm_cold
+from .harness import format_table, measure_adaptive, measure_warm_cold
 
 
 def _build_workload(repeats: int):
@@ -167,6 +171,35 @@ def _cmd_shared(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    if args.workload_scale < 1 or args.repeats < 1:
+        print(
+            "repro-bench: error: --workload-scale and --repeats must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    graph, queries = skewed_workload(
+        scale=args.workload_scale, repeats=args.repeats, seed=args.seed
+    )
+    measurement = measure_adaptive(graph, queries)
+    if measurement.mismatches:
+        print(
+            "repro-bench: error: adaptive and static executors disagree "
+            "(this is a bug — please report the seed)",
+            file=sys.stderr,
+        )
+        return 1
+    row = measurement.row()
+    print(format_table(
+        f"Adaptive vs static prune order ({len(queries)} skewed queries, "
+        f"n={graph.num_nodes})",
+        list(row),
+        [list(row.values())],
+    ))
+    print(f"prune ops saved: {measurement.prune_ops_saved:.0%}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -212,6 +245,15 @@ def build_parser() -> argparse.ArgumentParser:
     shared.add_argument("--explain", action="store_true",
                         help="also print the batch's shared-plan DAG")
     shared.set_defaults(func=_cmd_shared)
+
+    adaptive = subparsers.add_parser(
+        "adaptive", help="adaptive prune reordering vs static plan order"
+    )
+    adaptive.add_argument("--workload-scale", type=int, default=4,
+                          help="skewed-graph scale factor (default 4)")
+    adaptive.add_argument("--repeats", type=int, default=8,
+                          help="copies of each skewed query shape (default 8)")
+    adaptive.set_defaults(func=_cmd_adaptive)
     return parser
 
 

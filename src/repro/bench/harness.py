@@ -251,3 +251,83 @@ def _fmt(cell: Any) -> str:
 
 def mean(values: list[float]) -> float:
     return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class AdaptiveMeasurement:
+    """Static-vs-adaptive executor comparison on one workload.
+
+    Every query is compiled once; the same plans run through the static
+    operator pipeline (compile-time prune order) and the adaptive one
+    (runtime reordering + backbone-empty early exit).  Answers are
+    compared exactly; ``mismatches`` must be zero.
+    """
+
+    queries: int
+    prune_ops_static: int
+    prune_ops_adaptive: int
+    reordered_queries: int  #: executed order differs from the static one
+    early_exits: int  #: adaptive runs that skipped downward operators
+    static_seconds: float
+    adaptive_seconds: float
+    mismatches: int
+
+    @property
+    def prune_ops_saved(self) -> float:
+        if not self.prune_ops_static:
+            return 0.0
+        return 1.0 - self.prune_ops_adaptive / self.prune_ops_static
+
+    def row(self) -> dict[str, float]:
+        return {
+            "queries": self.queries,
+            "ops_static": self.prune_ops_static,
+            "ops_adaptive": self.prune_ops_adaptive,
+            "ops_saved": round(self.prune_ops_saved, 3),
+            "reordered": self.reordered_queries,
+            "early_exits": self.early_exits,
+            "static_ms": round(self.static_seconds * 1e3, 2),
+            "adaptive_ms": round(self.adaptive_seconds * 1e3, 2),
+        }
+
+
+def measure_adaptive(graph: DataGraph, queries: list[GTPQ]) -> AdaptiveMeasurement:
+    """Run ``queries`` through both executors and compare prune work.
+
+    Plans are compiled once outside both measured regions (the executors
+    share them), following the paper's timing discipline.
+    """
+    from ..engine.operators import executed_downward_order
+
+    engine = GTEA(graph, index="auto")
+    engine.reachability  # build outside the measured regions
+    plans = [engine.compile(query) for query in queries]
+
+    ops_static = ops_adaptive = reordered = early_exits = mismatches = 0
+    static_seconds = adaptive_seconds = 0.0
+    for query, plan in zip(queries, plans):
+        started = time.perf_counter()
+        static_results, static_stats = engine.execute(plan, adaptive=False)
+        static_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        adaptive_results, adaptive_stats = engine.execute(plan, adaptive=True)
+        adaptive_seconds += time.perf_counter() - started
+
+        mismatches += static_results != adaptive_results
+        ops_static += static_stats.downward_prune_ops
+        ops_adaptive += adaptive_stats.downward_prune_ops
+        static_order = executed_downward_order(static_stats)
+        adaptive_order = executed_downward_order(adaptive_stats)
+        reordered += adaptive_order != static_order[: len(adaptive_order)]
+        early_exits += len(adaptive_order) < len(static_order)
+    return AdaptiveMeasurement(
+        queries=len(queries),
+        prune_ops_static=ops_static,
+        prune_ops_adaptive=ops_adaptive,
+        reordered_queries=reordered,
+        early_exits=early_exits,
+        static_seconds=static_seconds,
+        adaptive_seconds=adaptive_seconds,
+        mismatches=mismatches,
+    )

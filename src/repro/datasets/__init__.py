@@ -8,6 +8,8 @@ from .random_queries import (
     random_embedded_query,
     random_labeled_graph,
     random_query_batch,
+    skewed_graph,
+    skewed_workload,
 )
 from .workloads import (
     FIG7_CROSS,
@@ -45,5 +47,7 @@ __all__ = [
     "random_embedded_query",
     "random_labeled_graph",
     "random_query_batch",
+    "skewed_graph",
+    "skewed_workload",
     "table1_row",
 ]

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from ..engine.gtea import GTEA
 from ..graph.digraph import DataGraph
 from ..graph.traversal import descendants
+from ..query.attribute import AttributePredicate
 from ..query.builder import QueryBuilder
 from ..query.gtpq import GTPQ
 
@@ -270,3 +271,83 @@ def generate_query_groups(
             ):
                 groups["large"][size].append(record)
     return groups
+
+
+# ----------------------------------------------------------------------
+# Skewed workloads (adaptive-executor benchmark inputs)
+# ----------------------------------------------------------------------
+def skewed_graph(scale: int, rng: random.Random) -> DataGraph:
+    """A graph whose label statistics mislead the compile-time estimates.
+
+    Label ``h`` is heavy (``20 * scale`` nodes) but every ``h`` node
+    carries ``kind=0``, so a query atom pinning ``h`` *and* another
+    ``kind`` is estimated at the full posting list while matching
+    nothing.  Label ``t`` is absent from the label index's radar for
+    attribute-only predicates (estimated at graph size) yet only
+    ``scale`` nodes carry ``kind=1``.  Label ``m`` behaves as estimated.
+    """
+    graph = DataGraph()
+    roots = [graph.add_node(label="r") for _ in range(2 * scale)]
+    heavy = [graph.add_node({"kind": 0}, label="h") for _ in range(20 * scale)]
+    mid = [graph.add_node(label="m") for _ in range(5 * scale)]
+    rare = [graph.add_node({"kind": 1}, label="t") for _ in range(scale)]
+    for root in roots:
+        for pool in (heavy, mid, rare):
+            for node in rng.sample(pool, max(1, len(pool) // 2)):
+                graph.add_edge(root, node)
+    return graph
+
+
+def skewed_workload(
+    scale: int = 4, repeats: int = 8, seed: int = 31
+) -> tuple[DataGraph, list[GTPQ]]:
+    """A (graph, queries) pair where runtime sizes contradict estimates.
+
+    Three query shapes, ``repeats`` copies each (distinct output choices
+    keep the copies' fingerprints distinct):
+
+    * **skew-empty** — a backbone child pins the heavy label plus an
+      impossible ``kind``: estimated at the full ``h`` posting list,
+      actually empty.  The static order prunes it last; the adaptive
+      order prunes it first and early-exits.
+    * **skew-order** — a backbone child with an attribute-only predicate
+      (estimated at graph size, actually tiny) next to a label-pinned
+      sibling: the adaptive order flips the two.
+    * **plain** — estimates match reality; both orders agree.
+    """
+    rng = random.Random(seed)
+    graph = skewed_graph(scale, rng)
+    queries: list[GTPQ] = []
+    for copy in range(repeats):
+        empty = (
+            QueryBuilder()
+            .backbone("root", predicate=AttributePredicate.label("r"))
+            .backbone(
+                "a",
+                parent="root",
+                predicate=AttributePredicate([("label", "=", "h"), ("kind", "=", 7)]),
+            )
+            .backbone("b", parent="root", predicate=AttributePredicate.label("m"))
+            .backbone("c", parent="root", predicate=AttributePredicate.label("t"))
+            .outputs(*(["root", "b", "c"][: 1 + copy % 3]))
+            .build()
+        )
+        order = (
+            QueryBuilder()
+            .backbone("root", predicate=AttributePredicate.label("r"))
+            .backbone(
+                "a", parent="root", predicate=AttributePredicate([("kind", "=", 1)])
+            )
+            .backbone("b", parent="root", predicate=AttributePredicate.label("m"))
+            .outputs(*(["root", "a", "b"][: 1 + copy % 3]))
+            .build()
+        )
+        plain = (
+            QueryBuilder()
+            .backbone("root", predicate=AttributePredicate.label("r"))
+            .backbone("b", parent="root", predicate=AttributePredicate.label("m"))
+            .outputs(*(["root", "b"][: 1 + copy % 2]))
+            .build()
+        )
+        queries.extend((empty, order, plain))
+    return graph, queries

@@ -23,6 +23,21 @@ points:
 from .cache import CacheCounters, LRUCache
 from .gtea import GTEA, evaluate_gtea
 from .matching_graph import MatchingGraph, build_matching_graph
+from .operators import (
+    BaselineDelegate,
+    BuildMatchingGraph,
+    CandidateScan,
+    CollectResults,
+    ConstantEmpty,
+    DownwardPrune,
+    ExecutionState,
+    Operator,
+    OperatorStats,
+    UpwardPrune,
+    build_gtea_operators,
+    executed_downward_order,
+    run_pipeline,
+)
 from .prime import compute_prime_subtree, shrink_prime_subtree
 from .prune import PruningContext, prune_downward, prune_upward
 from .results import collect_results
@@ -31,21 +46,34 @@ from .shared import SharedExecutor
 from .stats import EvaluationStats
 
 __all__ = [
+    "BaselineDelegate",
     "BatchResult",
+    "BuildMatchingGraph",
     "CacheCounters",
+    "CandidateScan",
+    "CollectResults",
+    "ConstantEmpty",
+    "DownwardPrune",
     "EvaluationStats",
+    "ExecutionState",
     "GTEA",
     "LRUCache",
     "MatchingGraph",
+    "Operator",
+    "OperatorStats",
     "PruningContext",
     "QueryPlan",
     "QuerySession",
     "SharedExecutor",
+    "UpwardPrune",
+    "build_gtea_operators",
     "build_matching_graph",
     "collect_results",
     "compute_prime_subtree",
     "evaluate_gtea",
+    "executed_downward_order",
     "prune_downward",
     "prune_upward",
+    "run_pipeline",
     "shrink_prime_subtree",
 ]

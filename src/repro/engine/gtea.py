@@ -5,12 +5,16 @@ Evaluation runs in four explicit phases (see :mod:`repro.plan`):
 1. **normalize** — simplify structural predicates, decide Theorem-1
    satisfiability, shrink the query with Algorithm-1 minimization;
 2. **logical plan** — candidate sources, prune obligations, prune order;
-3. **physical plan** — reachability index, executor and cost estimates;
-4. **execute** — this module: run a :class:`~repro.plan.CompiledPlan`
-   through the paper's pipeline (candidates → PruneDownward →
-   PruneUpward → matching graph → CollectResults), or through the
-   TwigStackD baseline when the cost model routed there, or through the
-   O(1) constant-empty path for unsatisfiable queries.
+3. **physical plan** — reachability index, and an explicit ordered
+   *operator list* (:mod:`repro.engine.operators`): CandidateScan →
+   DownwardPrune per node → UpwardPrune → BuildMatchingGraph →
+   CollectResults, or BaselineDelegate / ConstantEmpty for plans routed
+   away from GTEA;
+4. **execute** — this module: a thin driver that instantiates the
+   plan's operators and runs them through
+   :func:`repro.engine.operators.run_pipeline`, optionally with
+   adaptive prune reordering (re-sorting the remaining downward
+   obligations by actual post-prune set sizes mid-flight).
 
 Usage::
 
@@ -19,6 +23,7 @@ Usage::
     answer, stats = engine.evaluate_with_stats(query)
     plan = engine.compile(query)          # inspect: plan.explain()
     answer, stats = engine.execute(plan)  # repeated execution
+    adaptive = GTEA(graph, adaptive=True) # runtime prune reordering
 """
 
 from __future__ import annotations
@@ -29,13 +34,20 @@ from ..graph.digraph import DataGraph
 from ..graph.stats import GraphStats, graph_stats
 from ..plan import CompiledPlan, compile_query
 from ..query.gtpq import GTPQ
-from ..query.naive import candidate_nodes
 from ..reachability.base import GraphReachability
 from ..reachability.factory import build_reachability
-from .matching_graph import build_matching_graph
-from .prime import compute_prime_subtree, shrink_prime_subtree
-from .prune import MatSets, PruningContext, prune_downward, prune_upward
-from .results import ResultSet, collect_results
+from .operators import (
+    BuildMatchingGraph,
+    CollectResults,
+    ExecutionState,
+    Operator,
+    UpwardPrune,
+    build_gtea_operators,
+    instantiate_operators,
+    run_pipeline,
+)
+from .prune import MatSets
+from .results import ResultSet
 from .stats import EvaluationStats
 
 #: type of the optional ``mat(u)`` source the session layer injects.
@@ -56,6 +68,7 @@ class GTEA:
         index: str = "3hop",
         reachability: GraphReachability | None = None,
         optimize: bool = True,
+        adaptive: bool = False,
     ):
         """Args:
             graph: the data graph.
@@ -69,6 +82,13 @@ class GTEA:
             optimize: run Algorithm-1 minimization when compiling
                 queries inline; the simplification and satisfiability
                 phases always run.
+            adaptive: re-sort the remaining downward prune obligations
+                by actual post-prune candidate-set sizes after every
+                :class:`~repro.engine.operators.DownwardPrune` step
+                (with the backbone-empty early exit), instead of the
+                compile-time estimate order.  Answers are identical;
+                only the executed operator order (and count, on empty
+                answers) changes.
         """
         self.graph = graph
         self._reachability = reachability
@@ -77,6 +97,7 @@ class GTEA:
             reachability.index.name if reachability is not None else None
         )
         self.optimize = optimize
+        self.adaptive = adaptive
         self._baseline = None
         self._stats_cache: tuple[int, GraphStats] | None = None
 
@@ -105,6 +126,14 @@ class GTEA:
             else:
                 self._resolved_index = self._index_request
         return self._resolved_index
+
+    def baseline(self):
+        """The lazily built TwigStackD delegate of the baseline route."""
+        if self._baseline is None:
+            from ..baselines.twigstackd import TwigStackD
+
+            self._baseline = TwigStackD(self.graph)
+        return self._baseline
 
     # ------------------------------------------------------------------
     # Compilation
@@ -170,7 +199,7 @@ class GTEA:
         )
 
     # ------------------------------------------------------------------
-    # Plan execution
+    # Plan execution — a thin driver over the plan's operator list
     # ------------------------------------------------------------------
     def execute(
         self,
@@ -179,6 +208,7 @@ class GTEA:
         output_structures: list[list[str]] | None = None,
         candidate_provider: CandidateProvider | None = None,
         stats: EvaluationStats | None = None,
+        adaptive: bool | None = None,
     ) -> tuple[ResultSet | dict[int, ResultSet], EvaluationStats]:
         """Run a compiled plan; see :meth:`evaluate_with_stats` for args.
 
@@ -186,69 +216,54 @@ class GTEA:
         the reachability index (zero candidate fetches, zero lookups).
         Group nodes and alternative output structures are evaluated
         against the *original* query — their node ids may reference
-        nodes the rewrite dropped or relocated.
+        nodes the rewrite dropped or relocated.  ``adaptive`` overrides
+        the engine-level flag for this execution.
         """
         if stats is None:
             stats = EvaluationStats()
-        if plan.unsatisfiable:
-            return self._empty_answer(stats, output_structures)
+        if adaptive is None:
+            adaptive = self.adaptive
 
-        if group_nodes or output_structures:
-            query = plan.original
-        else:
-            query = plan.query
-
-        if (
-            plan.physical.executor == "twigstackd"
-            and not group_nodes
-            and not output_structures
-        ):
-            return self._execute_baseline(query, stats, candidate_provider)
-
-        order = plan.physical.downward_order
-        if set(order) != set(query.nodes):
-            order = None  # plan order describes the rewritten query only
-        return self._execute_gtea(
-            query, stats, group_nodes, output_structures, candidate_provider, order
+        query, operators = self._instantiate(plan, group_nodes, output_structures)
+        state = ExecutionState(
+            self,
+            query,
+            stats,
+            group_nodes=tuple(group_nodes),
+            output_structures=output_structures,
+            candidate_provider=candidate_provider,
         )
+        run_pipeline(state, operators, adaptive=adaptive)
+        return state.answer, stats
 
-    def _execute_gtea(
+    def _instantiate(
         self,
-        query: GTPQ,
-        stats: EvaluationStats,
+        plan: CompiledPlan,
         group_nodes: tuple[str, ...],
         output_structures: list[list[str]] | None,
-        candidate_provider: CandidateProvider | None,
-        order: tuple[str, ...] | None,
-    ) -> tuple[ResultSet | dict[int, ResultSet], EvaluationStats]:
-        """The paper's pipeline (Section 4.1, "Algorithm outline")."""
-        reach = self.reachability
-        reach.counters.reset()
-        context = PruningContext(self.graph, query, reach)
+    ) -> tuple[GTPQ, list[Operator]]:
+        """The query to run and its operator pipeline, from the plan.
 
-        with stats.time_phase("candidates"):
-            mats: MatSets = {}
-            for node_id in query.nodes:
-                if candidate_provider is not None:
-                    mats[node_id] = list(candidate_provider(query, node_id))
-                else:
-                    mats[node_id] = candidate_nodes(self.graph, query, node_id)
-                stats.candidates_initial[node_id] = len(mats[node_id])
-            stats.input_nodes = sum(stats.candidates_initial.values())
-
-        empty: ResultSet = set()
-        if not mats[query.root]:
-            return self._finish(empty, stats, output_structures)
-
-        with stats.time_phase("prune_downward"):
-            mats = prune_downward(context, mats, order=order)
-            stats.candidates_after_downward = {
-                node_id: len(nodes) for node_id, nodes in mats.items()
-            }
-        stats.downward_prune_ops += context.downward_ops
-        return self._execute_after_downward(
-            query, context, mats, stats, group_nodes, output_structures
-        )
+        The plan's operator list (``plan.physical.operators``, the one
+        ``explain()`` renders) is instantiated directly.  Two documented
+        exceptions rebuild the GTEA pipeline instead: group nodes and
+        alternative output structures run the *original* query (their
+        node ids may reference relocated nodes), and a plan whose
+        downward order no longer covers the query's nodes falls back to
+        the default bottom-up order.
+        """
+        if group_nodes or output_structures:
+            if plan.unsatisfiable:
+                return plan.query, instantiate_operators(plan.physical.operators)
+            query = plan.original
+            return query, build_gtea_operators(query.bottom_up())
+        query = plan.query
+        if (
+            plan.physical.executor == "gtea"
+            and set(plan.physical.downward_order) != set(query.nodes)
+        ):
+            return query, build_gtea_operators(query.bottom_up())
+        return query, instantiate_operators(plan.physical.operators)
 
     def execute_from_downward(
         self,
@@ -261,134 +276,20 @@ class GTEA:
         The shared batch executor (:mod:`repro.engine.shared`) computes
         downward-pruned candidate sets once per distinct subtree across a
         batch and hands each query its per-node slices here; this method
-        runs the remaining pipeline (upward prune → matching graph →
-        CollectResults) against the plan's rewritten query.  ``mats`` must
-        hold the downward match set of every node of ``plan.query``.
+        runs the remaining operator suffix (UpwardPrune →
+        BuildMatchingGraph → CollectResults) against the plan's rewritten
+        query.  ``mats`` must hold the downward match set of every node
+        of ``plan.query``.
         """
         if stats is None:
             stats = EvaluationStats()
-        query = plan.query
-        reach = self.reachability
-        reach.counters.reset()
-        context = PruningContext(self.graph, query, reach)
+        state = ExecutionState(self, plan.query, stats)
+        state.down = dict(mats)
         stats.candidates_after_downward = {
             node_id: len(nodes) for node_id, nodes in mats.items()
         }
-        return self._execute_after_downward(query, context, dict(mats), stats, (), None)
-
-    def _execute_after_downward(
-        self,
-        query: GTPQ,
-        context: PruningContext,
-        mats: MatSets,
-        stats: EvaluationStats,
-        group_nodes: tuple[str, ...],
-        output_structures: list[list[str]] | None,
-    ) -> tuple[ResultSet | dict[int, ResultSet], EvaluationStats]:
-        """Upward prune → matching graph → CollectResults."""
-        empty: ResultSet = set()
-        # The paper's Procedure 6 reads candidates a second time during the
-        # bottom-up sweep; mirror that in the #input metric.
-        stats.input_nodes += sum(stats.candidates_after_downward.values())
-        if not mats[query.root] or any(not mats[o] for o in query.outputs):
-            return self._finish(empty, stats, output_structures)
-
-        structure_outputs = (
-            [o for outputs in (output_structures or []) for o in outputs]
-            if output_structures
-            else []
-        )
-        prime_outputs = list(dict.fromkeys(query.outputs + structure_outputs))
-
-        with stats.time_phase("prune_upward"):
-            prime = compute_prime_subtree(query, mats, prime_outputs)
-            mats = prune_upward(context, mats, prime)
-            stats.candidates_after_upward = {
-                node_id: len(nodes) for node_id, nodes in mats.items()
-            }
-        if any(not mats[o] for o in prime_outputs):
-            return self._finish(empty, stats, output_structures)
-
-        with stats.time_phase("matching_graph"):
-            fragments = shrink_prime_subtree(query, prime, mats, prime_outputs)
-            matching_graph = build_matching_graph(context, mats, fragments)
-            stats.matching_graph_nodes = matching_graph.num_vertices
-            stats.matching_graph_edges = matching_graph.num_edges
-
-        with stats.time_phase("collect_results"):
-            if output_structures:
-                answers: dict[int, ResultSet] = {}
-                for position, outputs in enumerate(output_structures):
-                    answers[position] = collect_results(
-                        query, matching_graph, mats,
-                        outputs=outputs, group_nodes=group_nodes,
-                    )
-                self._record_index_counters(stats)
-                stats.result_count = sum(len(a) for a in answers.values())
-                return answers, stats
-            results = collect_results(
-                query, matching_graph, mats, group_nodes=group_nodes
-            )
-        return self._finish(results, stats, None)
-
-    def _execute_baseline(
-        self,
-        query: GTPQ,
-        stats: EvaluationStats,
-        candidate_provider: CandidateProvider | None,
-    ) -> tuple[ResultSet, EvaluationStats]:
-        """Run the TwigStackD baseline the cost model routed to."""
-        from ..baselines.twigstackd import TwigStackD
-
-        if self._baseline is None:
-            self._baseline = TwigStackD(self.graph)
-        baseline = self._baseline
-        baseline.candidate_provider = candidate_provider
-        try:
-            with stats.time_phase("baseline"):
-                results, baseline_stats = baseline.evaluate_with_stats(query)
-        finally:
-            baseline.candidate_provider = None
-        stats.input_nodes += baseline_stats.input_nodes
-        stats.index_lookups += baseline_stats.index_lookups
-        stats.index_entries += baseline_stats.index_entries
-        stats.intermediate_tuples += baseline_stats.intermediate_tuples
-        stats.result_count = len(results)
-        for name, seconds in baseline_stats.phase_seconds.items():
-            stats.phase_seconds[name] = (
-                stats.phase_seconds.get(name, 0.0) + seconds
-            )
-        return results, stats
-
-    # ------------------------------------------------------------------
-    # Bookkeeping helpers
-    # ------------------------------------------------------------------
-    def _record_index_counters(self, stats: EvaluationStats) -> None:
-        """Fold the reachability counters (reset at execute entry) into
-        ``stats``.  Accumulating (rather than assigning) lets the shared
-        batch executor attribute DAG-phase lookups to the same object."""
-        counters = self.reachability.counters.snapshot()
-        stats.index_lookups += counters["lookups"]
-        stats.index_entries += counters["entries_scanned"]
-
-    @staticmethod
-    def _empty_answer(stats: EvaluationStats, output_structures):
-        """The constant-empty result (unsatisfiable plans): no I/O at all."""
-        if output_structures:
-            answers: dict[int, ResultSet] = {
-                position: set() for position in range(len(output_structures))
-            }
-            return answers, stats
-        return set(), stats
-
-    def _finish(self, results, stats: EvaluationStats, output_structures):
-        self._record_index_counters(stats)
-        if output_structures:
-            answers = {i: set() for i in range(len(output_structures))}
-            stats.result_count = 0
-            return answers, stats
-        stats.result_count = len(results)
-        return results, stats
+        run_pipeline(state, [UpwardPrune(), BuildMatchingGraph(), CollectResults()])
+        return state.answer, stats
 
 
 def evaluate_gtea(graph: DataGraph, query: GTPQ, index: str = "3hop") -> ResultSet:

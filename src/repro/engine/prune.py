@@ -104,29 +104,13 @@ def prune_downward(
             planner passes a selectivity-sorted order; the default is
             :meth:`~repro.query.gtpq.GTPQ.bottom_up`.
     """
-    query, index = context.query, context.index
+    query = context.query
     refined: MatSets = {}
     for node_id in order if order is not None else query.bottom_up():
-        context.downward_ops += 1
-        children = query.children[node_id]
-        if not children:
-            # A leaf's fext is normally TRUE, but rewrites can leave a
-            # constant FALSE behind (a dropped subtree substituted to 0);
-            # the valuation is empty either way, so evaluate it once.
-            keep = evaluate(query.fext(node_id), {}, default=False)
-            refined[node_id] = list(mats[node_id]) if keep else []
-        else:
-            refined[node_id] = _filter_downward(
-                context, node_id, mats[node_id], refined
-            )
-        needs_contour = (
-            index is not None
-            and node_id != query.root
-            and query.edge_type(node_id) is EdgeType.DESCENDANT
-        )
-        if needs_contour:
-            context.pred_contours[node_id] = merge_pred_lists(
-                index, context.dag_images(refined[node_id])
+        refined[node_id] = downward_step(context, node_id, mats[node_id], refined)
+        if needs_pred_contour(context, node_id):
+            context.pred_contours[node_id] = build_pred_contour(
+                context, refined[node_id]
             )
     return refined
 
@@ -148,9 +132,28 @@ def downward_step(
     """
     context.downward_ops += 1
     if not context.query.children[node_id]:
+        # A leaf's fext is normally TRUE, but rewrites can leave a
+        # constant FALSE behind (a dropped subtree substituted to 0);
+        # the valuation is empty either way, so evaluate it once.
         keep = evaluate(context.query.fext(node_id), {}, default=False)
         return list(candidates) if keep else []
     return _filter_downward(context, node_id, list(candidates), refined_children)
+
+
+def needs_pred_contour(context: PruningContext, node_id: str) -> bool:
+    """Will a later parent visit read this node's predecessor contour?
+
+    Only AD-entered non-root nodes, and only under the 3-hop index (the
+    generic fallback probes ``reaches`` directly and needs no contours).
+    Shared by the full sweep above and the per-node
+    :class:`~repro.engine.operators.DownwardPrune` operator.
+    """
+    query = context.query
+    return (
+        context.index is not None
+        and node_id != query.root
+        and query.edge_type(node_id) is EdgeType.DESCENDANT
+    )
 
 
 def build_pred_contour(context: PruningContext, nodes: list[int]) -> Contour | None:

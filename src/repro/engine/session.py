@@ -55,7 +55,14 @@ from typing import Iterable, Sequence
 
 from ..graph.digraph import DataGraph
 from ..graph.stats import GraphStats, graph_stats
-from ..plan import CompiledPlan, choose_index, compile_batch, compile_query
+from ..plan import (
+    CompiledPlan,
+    CostProfile,
+    choose_index,
+    compile_batch,
+    compile_query,
+    should_share,
+)
 from ..query.gtpq import GTPQ
 from ..query.naive import candidate_nodes
 from ..query.serialize import (
@@ -141,6 +148,17 @@ class QuerySession:
             cache (downward-pruned candidate sets keyed by canonical
             subtree fingerprint).  Pass ``0`` to disable cross-batch
             subtree reuse; within-batch sharing still applies.
+        adaptive: run the engines with adaptive prune reordering — the
+            remaining downward obligations are re-sorted by actual
+            post-prune candidate-set sizes mid-flight (see
+            :mod:`repro.engine.operators`).  Answers are identical to
+            the static order.
+
+    Every execution's observed per-operator stats feed the session-held
+    :attr:`cost_profile` (:class:`~repro.plan.feedback.CostProfile`),
+    which subsequent compilations consult to calibrate the executor
+    inequality and the index ladder; :meth:`explain` renders the latest
+    observed stats next to the compile-time estimates.
     """
 
     def __init__(
@@ -152,13 +170,20 @@ class QuerySession:
         candidate_cache_size: int = 4096,
         result_cache_size: int = 1024,
         subtree_cache_size: int = 4096,
+        adaptive: bool = False,
     ):
         self.graph = graph
         self.default_index = index
+        self.adaptive = adaptive
         self.plan_cache = LRUCache(plan_cache_size)
         self.candidate_cache = LRUCache(candidate_cache_size)
         self.result_cache = LRUCache(result_cache_size)
         self.subtree_cache = LRUCache(subtree_cache_size)
+        self.cost_profile = CostProfile()
+        # Latest observed operator records per fingerprint (for
+        # explain()'s estimated-vs-observed view), bounded like the plan
+        # cache so a stream of distinct queries cannot grow it forever.
+        self._observed_ops = LRUCache(plan_cache_size)
         self._reach_pool: dict[str, GraphReachability] = {}
         self._engines: dict[str, GTEA] = {}
         self._resolved_auto: str | None = None
@@ -179,8 +204,11 @@ class QuerySession:
             return resolve_index(self.graph, index)
         if self._resolved_auto is None:
             # Same ladder as resolve_index(graph, "auto"), but fed from
-            # the session's cached statistics (one graph walk, not two).
-            self._resolved_auto = choose_index(self.graph_statistics())
+            # the session's cached statistics (one graph walk, not two)
+            # and open to cost-profile overrides.
+            self._resolved_auto = choose_index(
+                self.graph_statistics(), self.cost_profile, self._graph_version
+            )
         return self._resolved_auto
 
     def reachability(self, index: str | None = None) -> GraphReachability:
@@ -199,7 +227,11 @@ class QuerySession:
         name = self._resolve(index or self.default_index)
         engine = self._engines.get(name)
         if engine is None:
-            engine = GTEA(self.graph, reachability=self.reachability(name))
+            engine = GTEA(
+                self.graph,
+                reachability=self.reachability(name),
+                adaptive=self.adaptive,
+            )
             self._engines[name] = engine
         return engine
 
@@ -217,6 +249,9 @@ class QuerySession:
         self.candidate_cache.clear()
         self.result_cache.clear()
         self.subtree_cache.clear()
+        # The cost profile survives: its entries are keyed by graph
+        # version, so stale observations simply stop being consulted.
+        self._observed_ops.clear()
         self._reach_pool.clear()
         self._engines.clear()
         self._resolved_auto = None
@@ -252,9 +287,16 @@ class QuerySession:
         return self._plan_for(query)
 
     def explain(self, query: QueryLike) -> str:
-        """The compiled plan of ``query``, rendered stage by stage."""
+        """The compiled plan of ``query``, rendered stage by stage.
+
+        When the session has already executed the query, the physical
+        section shows each operator's compile-time estimate next to its
+        latest observed runtime stats (set sizes, wall time, index
+        probes), including any adaptive reordering.
+        """
         self._ensure_fresh()
-        return self._plan_for(query).compiled.explain()
+        plan = self._plan_for(query)
+        return plan.compiled.explain(observed=self._observed_ops.peek(plan.fingerprint))
 
     def _plan_for(self, query: QueryLike) -> QueryPlan:
         # One planning operation counts exactly one plan-cache hit or miss,
@@ -300,6 +342,7 @@ class QuerySession:
                     parsed,
                     index=self.default_index,
                     stats=self.graph_statistics(),
+                    profile=self.cost_profile,
                 ),
             )
             self.plan_cache.put(fingerprint, plan)
@@ -376,7 +419,27 @@ class QuerySession:
             )
         stats.result_cache_misses = 1
         self.result_cache.put((plan.fingerprint, group_nodes), frozenset(results))
+        if not group_nodes:
+            # Group evaluation runs the GTEA pipeline over the *original*
+            # query regardless of the routed executor; recording it would
+            # file GTEA operator stats under the baseline's calibration
+            # arm (and against the rewritten query's estimates).
+            self._record_feedback(plan, stats)
         return results, stats
+
+    def _record_feedback(
+        self, plan: QueryPlan, stats: EvaluationStats, executor: str | None = None
+    ) -> None:
+        """Fold one execution's operator records into the cost profile."""
+        if not stats.operator_stats:
+            return
+        self.cost_profile.record(
+            index_name=plan.compiled.physical.index_name,
+            executor=executor or plan.compiled.physical.executor,
+            graph_version=self._graph_version,
+            operator_stats=stats.operator_stats,
+        )
+        self._observed_ops.put(plan.fingerprint, list(stats.operator_stats))
 
     def _candidate_provider(self, plan: QueryPlan):
         """A ``(query, node_id) -> mat(u)`` source backed by the cache."""
@@ -399,23 +462,32 @@ class QuerySession:
         queries: Iterable[QueryLike],
         group_nodes: Sequence[str] = (),
         *,
-        share: bool = True,
+        share: bool | str = "auto",
     ) -> BatchResult:
         """Evaluate a workload, sharing plans *and* prune work.
 
         Queries are planned first (one plan per distinct fingerprint) and
         each *unique* fingerprint is evaluated once — through the result
         cache, so a warm session may evaluate nothing at all.  With
-        ``share=True`` (the default) the remaining cold plans are batch
-        compiled into a :class:`~repro.plan.shared.SharedPlanDAG` and run
-        by :class:`~repro.engine.shared.SharedExecutor`: every *distinct
+        sharing on, the remaining cold plans are batch compiled into a
+        :class:`~repro.plan.shared.SharedPlanDAG` and run by
+        :class:`~repro.engine.shared.SharedExecutor`: every *distinct
         rooted subtree* across the batch is downward-pruned exactly once
         (or zero times, on a subtree-cache hit from an earlier batch) and
         its post-prune candidate set feeds every consuming query.
-        ``share=False`` restores the isolated per-query path — useful as
-        a baseline when measuring the sharing win.  Batches with group
-        nodes always use the per-query path (group evaluation runs the
-        original, pre-rewrite queries, which the DAG does not describe).
+
+        ``share`` accepts three values: ``"auto"`` (the default) shares
+        unless the tiny-batch guard of
+        :func:`repro.plan.shared.should_share` finds nothing worthwhile —
+        no subtree consumed by ≥ 2 queries, negligible estimated
+        savings, and no subtree-cache entry to reuse — in which case the
+        batch runs the isolated per-query path and the
+        ``batch_share_skipped`` counter records the fallback;
+        ``share=True`` forces the DAG path; ``share=False`` always runs
+        the isolated path — useful as a baseline when measuring the
+        sharing win.  Batches with group nodes always use the per-query
+        path (group evaluation runs the original, pre-rewrite queries,
+        which the DAG does not describe).
 
         Candidate fetching is shared across the whole batch via the
         predicate-keyed cache in either mode, and the answers are fanned
@@ -448,9 +520,12 @@ class QuerySession:
             else:
                 pending.append(plan)
 
+        share_skipped = 0
         if pending:
             if share and not group_key:
-                evaluated = self._execute_shared(pending)
+                evaluated, share_skipped = self._execute_shared(
+                    pending, force_share=share is True
+                )
             else:
                 evaluated = [self._execute_plan(plan, group_key) for plan in pending]
             for plan, (results, stats) in zip(pending, evaluated):
@@ -460,6 +535,7 @@ class QuerySession:
         aggregate = EvaluationStats.aggregate(list(stats_by_fingerprint.values()))
         aggregate.batch_queries = len(plans)
         aggregate.batch_unique_queries = len(unique)
+        aggregate.batch_share_skipped = share_skipped
 
         per_query: list[EvaluationStats] = []
         seen: set[str] = set()
@@ -486,23 +562,35 @@ class QuerySession:
         )
 
     def _execute_shared(
-        self, plans: list[QueryPlan]
-    ) -> list[tuple[ResultSet, EvaluationStats]]:
+        self, plans: list[QueryPlan], *, force_share: bool = False
+    ) -> tuple[list[tuple[ResultSet, EvaluationStats]], int]:
         """Run cold plans through the shared-plan DAG, grouped by index.
 
         Plans are grouped by their physical index choice (one engine per
         group — normally a single group); each group is batch compiled
         and executed with the session's subtree and candidate caches.
+        Unless ``force_share`` is set, a group whose DAG shares nothing
+        worth its bookkeeping (:func:`repro.plan.shared.should_share`)
+        falls back to the isolated per-query path; the second return
+        value counts those skipped groups.
         """
         by_index: dict[str, list[int]] = {}
         for position, plan in enumerate(plans):
             by_index.setdefault(plan.compiled.physical.index_name, []).append(position)
 
         outcomes: list[tuple[ResultSet, EvaluationStats] | None] = [None] * len(plans)
+        skipped = 0
+        cached = lambda fingerprint: self.subtree_cache.peek(fingerprint) is not None
         for index_name, positions in by_index.items():
-            batch = compile_batch(
-                self.graph, plans=[plans[p].compiled for p in positions]
-            )
+            compiled = [plans[p].compiled for p in positions]
+            # The guard reads the plans' precomputed fingerprints, so a
+            # skipped group never pays the DAG compilation either.
+            if not force_share and not should_share(compiled, cached_fingerprints=cached):
+                skipped += 1
+                for position in positions:
+                    outcomes[position] = self._execute_plan(plans[position], ())
+                continue
+            batch = compile_batch(self.graph, plans=compiled)
             executor = SharedExecutor(
                 self.engine(index_name),
                 candidate_provider=self._shared_candidate_provider(),
@@ -510,15 +598,22 @@ class QuerySession:
                 candidate_counters=self.candidate_cache.counters,
             )
             for position, outcome in zip(positions, executor.execute(batch)):
-                outcomes[position] = outcome
-
-        finalized: list[tuple[ResultSet, EvaluationStats]] = []
-        for plan, outcome in zip(plans, outcomes):
-            results, stats = outcome
-            stats.result_cache_misses += 1
-            self.result_cache.put((plan.fingerprint, ()), frozenset(results))
-            finalized.append((results, stats))
-        return finalized
+                results, stats = outcome
+                stats.result_cache_misses += 1
+                self.result_cache.put(
+                    (plans[position].fingerprint, ()), frozenset(results)
+                )
+                # GTEA-participating executions are filed under their
+                # own key: a warm subtree cache leaves them with
+                # suffix-only operator records (no scan, no prunes),
+                # which would corrupt the isolated GTEA arm's
+                # seconds-per-element.  Ride-along plans (baseline,
+                # unsat) ran their actual executor and file under it.
+                routed = plans[position].compiled.physical.executor
+                tag = "gtea-shared" if routed == "gtea" else routed
+                self._record_feedback(plans[position], stats, executor=tag)
+                outcomes[position] = (results, stats)
+        return outcomes, skipped
 
     def explain_batch(self, queries: Iterable[QueryLike]) -> str:
         """The shared-plan DAG of a workload, rendered.

@@ -26,11 +26,14 @@ the ordinary per-query path.
 
 from __future__ import annotations
 
+import time
+
 from ..plan.shared import BatchPlan
 from ..query.gtpq import EdgeType
 from ..query.naive import candidate_nodes
 from .cache import CacheCounters, LRUCache
 from .gtea import GTEA, CandidateProvider
+from .operators import OperatorStats
 from .prune import PruningContext, build_pred_contour, downward_step
 from .results import ResultSet
 from .stats import EvaluationStats
@@ -133,6 +136,7 @@ class SharedExecutor:
                 context = PruningContext(engine.graph, query, reach)
                 contexts[position] = context
 
+            started = time.perf_counter()
             with stats.record_candidate_cache(self.candidate_counters):
                 with stats.time_phase("candidates"):
                     if self.candidate_provider is not None:
@@ -167,7 +171,21 @@ class SharedExecutor:
 
             # Attribute the index I/O of this sub-plan to its exemplar.
             snapshot = reach.counters.snapshot()
-            stats.index_lookups += snapshot["lookups"] - seen["lookups"]
-            stats.index_entries += snapshot["entries_scanned"] - seen["entries_scanned"]
+            lookups = snapshot["lookups"] - seen["lookups"]
+            entries = snapshot["entries_scanned"] - seen["entries_scanned"]
+            stats.index_lookups += lookups
+            stats.index_entries += entries
             seen = snapshot
+            stats.operator_stats.append(
+                OperatorStats(
+                    op="DownwardPrune",
+                    target=node_id,
+                    input_size=len(candidates),
+                    output_size=len(survivors),
+                    seconds=time.perf_counter() - started,
+                    index_lookups=lookups,
+                    index_entries=entries,
+                    note="shared-dag",
+                )
+            )
         return down

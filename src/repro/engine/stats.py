@@ -31,6 +31,11 @@ class EvaluationStats:
     #: sharing shows up directly as a drop in this counter).
     downward_prune_ops: int = 0
     result_count: int = 0
+    #: one :class:`repro.engine.operators.OperatorStats` per executed
+    #: physical operator, in execution order — the observed side of the
+    #: physical plan's estimated-vs-observed ``explain()`` and the raw
+    #: material of :class:`repro.plan.feedback.CostProfile`.
+    operator_stats: list = field(default_factory=list)
     candidates_initial: dict[str, int] = field(default_factory=dict)
     candidates_after_downward: dict[str, int] = field(default_factory=dict)
     candidates_after_upward: dict[str, int] = field(default_factory=dict)
@@ -59,6 +64,10 @@ class EvaluationStats:
     #: subtree occurrences served by another query's prune work within
     #: one shared batch execution (DAG dedup, not a cache).
     batch_shared_subtrees: int = 0
+    #: shared-DAG executions skipped by the tiny-batch guard of
+    #: :meth:`QuerySession.evaluate_many` (``share="auto"`` fell back to
+    #: the isolated per-query path because nothing worthwhile is shared).
+    batch_share_skipped: int = 0
 
     @property
     def intermediate_cost(self) -> int:
@@ -109,8 +118,8 @@ class EvaluationStats:
         """Fold ``other`` into this object (used by batch aggregation).
 
         Scalar counters add up; phase timings accumulate by name; the
-        per-query-node candidate breakdowns are dropped (they are not
-        meaningful across different queries).
+        per-query-node candidate breakdowns and per-operator records are
+        dropped (they are not meaningful across different queries).
         """
         self.input_nodes += other.input_nodes
         self.index_lookups += other.index_lookups
@@ -132,6 +141,7 @@ class EvaluationStats:
         self.batch_queries += other.batch_queries
         self.batch_unique_queries += other.batch_unique_queries
         self.batch_shared_subtrees += other.batch_shared_subtrees
+        self.batch_share_skipped += other.batch_share_skipped
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 

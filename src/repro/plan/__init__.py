@@ -17,18 +17,27 @@ from .shared import (
     SharedSubtree,
     build_shared_dag,
     compile_batch,
+    estimated_sharing_savings,
+    should_share,
 )
 from .cost import (
     AUTO_NEAR_TREE_RATIO,
     AUTO_TC_MAX_NODES,
     CostEstimate,
     choose_index,
+    choose_index_detail,
     estimate_candidates,
     estimate_executor,
 )
+from .feedback import CostProfile
 from .logical import CandidateSource, LogicalPlan, PruneObligation, build_logical_plan
 from .normalize import NormalizedQuery, normalize
-from .physical import PhysicalPlan, build_physical_plan
+from .physical import (
+    PhysicalOperator,
+    PhysicalPlan,
+    build_operator_pipeline,
+    build_physical_plan,
+)
 
 __all__ = [
     "AUTO_NEAR_TREE_RATIO",
@@ -37,19 +46,25 @@ __all__ = [
     "CandidateSource",
     "CompiledPlan",
     "CostEstimate",
+    "CostProfile",
     "LogicalPlan",
     "NormalizedQuery",
+    "PhysicalOperator",
     "PhysicalPlan",
     "PruneObligation",
     "SharedPlanDAG",
     "SharedSubtree",
     "build_logical_plan",
+    "build_operator_pipeline",
     "build_physical_plan",
     "build_shared_dag",
     "choose_index",
+    "choose_index_detail",
     "compile_batch",
     "compile_query",
     "estimate_candidates",
     "estimate_executor",
+    "estimated_sharing_savings",
     "normalize",
+    "should_share",
 ]

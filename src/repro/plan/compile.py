@@ -46,12 +46,19 @@ class CompiledPlan:
         """Per rewritten-query node, its canonical subtree fingerprint."""
         return self.logical.subtree_fingerprint_map
 
-    def explain(self) -> str:
-        """Render every compilation stage, one section per phase."""
+    def explain(self, observed=None) -> str:
+        """Render every compilation stage, one section per phase.
+
+        Args:
+            observed: optional operator records of one execution
+                (``EvaluationStats.operator_stats``); the physical-plan
+                section then shows estimated *and* observed per-operator
+                stats, including runtime reorderings.
+        """
         sections = [
             ("normalize", self.normalized.explain_lines()),
             ("logical plan", self.logical.explain_lines()),
-            ("physical plan", self.physical.explain_lines()),
+            ("physical plan", self.physical.explain_lines(observed=observed)),
         ]
         lines: list[str] = []
         for title, body in sections:
@@ -67,6 +74,7 @@ def compile_query(
     index: str = "auto",
     minimize: bool = True,
     stats: GraphStats | None = None,
+    profile=None,
 ) -> CompiledPlan:
     """Compile ``query`` for evaluation over ``graph``.
 
@@ -80,8 +88,13 @@ def compile_query(
             always run).
         stats: precomputed graph statistics, to skip the per-compile
             :func:`~repro.graph.stats.graph_stats` walk.
+        profile: optional :class:`~repro.plan.feedback.CostProfile` of
+            observed runtime stats; calibrates the physical planner's
+            executor inequality and index choice.
     """
     normalized = normalize(query, minimize=minimize)
     logical = build_logical_plan(graph, normalized)
-    physical = build_physical_plan(graph, normalized, logical, index=index, stats=stats)
+    physical = build_physical_plan(
+        graph, normalized, logical, index=index, stats=stats, profile=profile
+    )
     return CompiledPlan(normalized=normalized, logical=logical, physical=physical)

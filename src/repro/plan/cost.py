@@ -23,10 +23,14 @@ posting-list length lookup; anything else is bounded by the node count.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..graph.digraph import DataGraph
 from ..graph.stats import GraphStats
 from ..query.gtpq import GTPQ
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .feedback import CostProfile
 
 #: node count up to which the packed-bitset transitive closure is the
 #: obvious winner (O(1) queries; the bit matrix stays under ~32 KiB).
@@ -44,8 +48,12 @@ BASELINE_SWEEPS = 2
 GTEA_CANDIDATE_PASSES = 3
 
 
-def choose_index(stats: GraphStats) -> str:
-    """Cost-based index choice from graph statistics alone.
+def choose_index(
+    stats: GraphStats,
+    profile: "CostProfile | None" = None,
+    graph_version: int | None = None,
+) -> str:
+    """Cost-based index choice from graph statistics (and observations).
 
     The heuristic ladder:
 
@@ -60,15 +68,52 @@ def choose_index(stats: GraphStats) -> str:
 
     Cyclic graphs skip the forest/near-tree rungs: the statistics describe
     the raw graph, not its condensation, so tree-shape evidence is absent.
+
+    When a :class:`~repro.plan.feedback.CostProfile` with observations for
+    ``graph_version`` is given, measured per-element execution rates can
+    override the ladder — see :func:`choose_index_detail`.
+    """
+    return choose_index_detail(stats, profile, graph_version)[0]
+
+
+def choose_index_detail(
+    stats: GraphStats,
+    profile: "CostProfile | None" = None,
+    graph_version: int | None = None,
+) -> tuple[str, str]:
+    """:func:`choose_index` plus the reason for the pick.
+
+    The shape ladder decides first.  If the session's cost profile has
+    observed the ladder pick *and* a cheaper alternative index on this
+    graph version — cheaper by the
+    :data:`~repro.plan.feedback.INDEX_OVERRIDE_MARGIN` factor — the
+    measurement wins over the heuristic.
     """
     if stats.num_nodes <= AUTO_TC_MAX_NODES:
-        return "tc"
-    if stats.is_dag:
-        if stats.num_edges == stats.num_nodes - stats.num_roots:
-            return "interval"
-        if stats.num_edges <= AUTO_NEAR_TREE_RATIO * stats.num_nodes:
-            return "tree-cover"
-    return "3hop"
+        ladder = "tc"
+    elif stats.is_dag and stats.num_edges == stats.num_nodes - stats.num_roots:
+        ladder = "interval"
+    elif stats.is_dag and stats.num_edges <= AUTO_NEAR_TREE_RATIO * stats.num_nodes:
+        ladder = "tree-cover"
+    else:
+        ladder = "3hop"
+
+    if profile is not None and graph_version is not None:
+        from .feedback import INDEX_OVERRIDE_MARGIN
+
+        ladder_rate = profile.observed_rate(ladder, graph_version)
+        best = profile.preferred_index(graph_version)
+        if (
+            ladder_rate is not None
+            and best is not None
+            and best[0] != ladder
+            and best[1] < INDEX_OVERRIDE_MARGIN * ladder_rate
+        ):
+            return best[0], (
+                f"cost profile: observed {best[1]:.2e}s/element beats "
+                f"{ladder} at {ladder_rate:.2e}s/element"
+            )
+    return ladder, "cost model: graph-shape ladder"
 
 
 def estimate_candidates(graph: DataGraph, query: GTPQ) -> dict[str, int]:
@@ -101,19 +146,26 @@ def estimate_candidates(graph: DataGraph, query: GTPQ) -> dict[str, int]:
 class CostEstimate:
     """The two executor costs and the resulting pick.
 
-    Costs are in abstract "elements touched" units; only their relative
-    order matters.
+    Costs are in abstract "elements touched" units — or, when the cost
+    profile calibrated them (``calibrated=True``), in observed seconds.
+    Only their relative order matters either way.
     """
 
     total_candidates: int
-    gtea_cost: int
-    baseline_cost: int
+    gtea_cost: float
+    baseline_cost: float
     executor: str
     reason: str
+    calibrated: bool = False
 
 
 def estimate_executor(
-    stats: GraphStats, query: GTPQ, candidate_estimates: dict[str, int]
+    stats: GraphStats,
+    query: GTPQ,
+    candidate_estimates: dict[str, int],
+    profile: "CostProfile | None" = None,
+    index_name: str | None = None,
+    graph_version: int | None = None,
 ) -> CostEstimate:
     """Pick the executor for one query: ``"gtea"`` or ``"twigstackd"``.
 
@@ -121,10 +173,23 @@ def estimate_executor(
     data (its pre-filter DP assumes both); within that class it wins when
     its two fixed whole-graph sweeps undercut GTEA's candidate-volume
     work.
+
+    With a :class:`~repro.plan.feedback.CostProfile` holding enough
+    observed executions of *both* executors on this graph version, the
+    abstract unit constants are replaced by measured seconds-per-element
+    rates, so the inequality compares predicted wall time instead.
     """
     total = sum(candidate_estimates.values())
-    gtea_cost = GTEA_CANDIDATE_PASSES * total
-    baseline_cost = BASELINE_SWEEPS * (stats.num_nodes + stats.num_edges) + total
+    gtea_cost: float = GTEA_CANDIDATE_PASSES * total
+    baseline_cost: float = BASELINE_SWEEPS * (stats.num_nodes + stats.num_edges) + total
+    calibrated = False
+    if profile is not None and index_name is not None and graph_version is not None:
+        rates = profile.executor_costs(index_name, graph_version)
+        if rates is not None:
+            gtea_rate, baseline_rate = rates
+            gtea_cost = gtea_rate * total
+            baseline_cost = baseline_rate * (stats.num_nodes + stats.num_edges)
+            calibrated = True
     if not query.is_conjunctive():
         return CostEstimate(
             total,
@@ -132,6 +197,7 @@ def estimate_executor(
             baseline_cost,
             "gtea",
             "query uses OR/NOT: GTEA evaluates logical operators natively",
+            calibrated,
         )
     if not stats.is_dag:
         return CostEstimate(
@@ -140,7 +206,9 @@ def estimate_executor(
             baseline_cost,
             "gtea",
             "cyclic data: the baseline pre-filter assumes a DAG",
+            calibrated,
         )
+    suffix = " [calibrated from observed stats]" if calibrated else ""
     if baseline_cost < gtea_cost:
         return CostEstimate(
             total,
@@ -148,12 +216,14 @@ def estimate_executor(
             baseline_cost,
             "twigstackd",
             f"low selectivity (~{total} candidates): two whole-graph "
-            "sweeps undercut candidate-volume pruning",
+            f"sweeps undercut candidate-volume pruning{suffix}",
+            calibrated,
         )
     return CostEstimate(
         total,
         gtea_cost,
         baseline_cost,
         "gtea",
-        f"selective candidates (~{total}): pruning beats graph sweeps",
+        f"selective candidates (~{total}): pruning beats graph sweeps{suffix}",
+        calibrated,
     )

@@ -4,28 +4,59 @@ Turns a :class:`~repro.plan.logical.LogicalPlan` into concrete execution
 decisions using the cost model of :mod:`repro.plan.cost`:
 
 * which reachability index the executor should probe (the ladder that
-  used to be hardwired in ``reachability.factory.select_auto_index``);
-* which executor runs the query — GTEA's prune-and-match pipeline, the
-  TwigStackD baseline for low-selectivity conjunctive queries on DAGs
-  (behind the existing :class:`repro.baselines.base.BaselineEvaluator`
-  interface), or the constant-empty executor for queries the normalize
-  phase proved unsatisfiable;
-* the downward prune order (inherited from the logical plan's
-  selectivity ordering).
+  used to be hardwired in ``reachability.factory.select_auto_index``,
+  optionally overridden by the session's observed
+  :class:`~repro.plan.feedback.CostProfile`);
+* the **operator pipeline** — an explicit ordered list of
+  :class:`PhysicalOperator` rows that
+  :mod:`repro.engine.operators` instantiates and runs: CandidateScan →
+  one DownwardPrune per query node (in the logical plan's selectivity
+  order) → UpwardPrune → BuildMatchingGraph → CollectResults for GTEA,
+  a single BaselineDelegate for TwigStackD-routed plans, or a single
+  ConstantEmpty for plans the normalize phase proved unsatisfiable;
+* the executor cost comparison itself (estimated, or calibrated from
+  observed runtime stats when the profile has enough samples).
+
+``explain()`` renders the operator rows with their compile-time
+estimates; pass the observed
+:class:`~repro.engine.operators.OperatorStats` of an execution to get
+the estimated-vs-observed comparison.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from ..graph.digraph import DataGraph
 from ..graph.stats import GraphStats, graph_stats
-from .cost import CostEstimate, choose_index, estimate_executor
+from .cost import CostEstimate, choose_index_detail, estimate_executor
 from .logical import LogicalPlan
 from .normalize import NormalizedQuery
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .feedback import CostProfile
+
 #: executor names a physical plan may carry.
 EXECUTORS = ("gtea", "twigstackd", "constant-empty")
+
+
+@dataclass(frozen=True)
+class PhysicalOperator:
+    """One row of the physical plan's operator pipeline.
+
+    A *specification*: the executor instantiates the matching stateful
+    operator class from :mod:`repro.engine.operators` at run time (plans
+    are cached and reused; operator instances are not).
+    """
+
+    op: str  #: operator class name (``"DownwardPrune"``, ...).
+    target: str | None = None  #: query node for per-node operators.
+    estimate: int | None = None  #: estimated input elements, if priced.
+
+    @property
+    def label(self) -> str:
+        return f"{self.op}({self.target})" if self.target else self.op
 
 
 @dataclass(frozen=True)
@@ -41,6 +72,8 @@ class PhysicalPlan:
             bottom-up order when running the original query).
         cost: the executor cost comparison, or None for constant-empty.
         index_reason: why this index was picked.
+        operators: the ordered operator pipeline the executor drives
+            (see :class:`PhysicalOperator`).
     """
 
     index_name: str
@@ -48,19 +81,82 @@ class PhysicalPlan:
     downward_order: tuple[str, ...]
     cost: CostEstimate | None
     index_reason: str
+    operators: tuple[PhysicalOperator, ...] = ()
 
-    def explain_lines(self) -> list[str]:
+    def explain_lines(self, observed: "Sequence | None" = None) -> list[str]:
+        """Render the plan; with ``observed`` operator stats (an
+        execution's ``EvaluationStats.operator_stats``), each pipeline
+        row also shows what actually happened — including runtime
+        reorderings, early exits and skipped operators."""
         lines = [f"index: {self.index_name} ({self.index_reason})"]
         if self.cost is not None:
             lines.append(f"executor: {self.executor} ({self.cost.reason})")
+            unit = "s" if self.cost.calibrated else ""
             lines.append(
-                f"  cost estimate: gtea={self.cost.gtea_cost} "
-                f"baseline={self.cost.baseline_cost} "
+                f"  cost estimate: gtea={_fmt(self.cost.gtea_cost)}{unit} "
+                f"baseline={_fmt(self.cost.baseline_cost)}{unit} "
                 f"candidates~{self.cost.total_candidates}"
             )
         else:
             lines.append(f"executor: {self.executor}")
+        lines.append("operator pipeline:")
+        observed_by_key: dict[tuple[str, str | None], object] = {}
+        for record in observed or ():
+            observed_by_key.setdefault((record.op, record.target), record)
+        for step, operator in enumerate(self.operators):
+            row = f"  {step:>2}. {operator.label:<28}"
+            if operator.estimate is not None:
+                row += f" est~{operator.estimate:<8}"
+            else:
+                row += " " * 13
+            record = observed_by_key.get((operator.op, operator.target))
+            if record is not None:
+                row += (
+                    f" obs in={record.input_size} out={record.output_size}"
+                    f" {1e3 * record.seconds:.2f}ms probes={record.index_lookups}"
+                )
+                if record.note:
+                    row += f" [{record.note}]"
+            elif observed:
+                row += " obs (not executed)"
+            lines.append(row.rstrip())
+        if observed:
+            executed = [r.label for r in observed if r.op == "DownwardPrune"]
+            planned = [o.label for o in self.operators if o.op == "DownwardPrune"]
+            if executed and executed != planned[: len(executed)]:
+                lines.append("  executed downward order (adaptive): " + " -> ".join(executed))
         return lines
+
+
+def _fmt(cost: float) -> str:
+    return f"{cost:.3e}" if isinstance(cost, float) and cost != int(cost) else str(int(cost))
+
+
+def build_operator_pipeline(
+    executor: str,
+    logical: LogicalPlan,
+    downward_order: tuple[str, ...],
+) -> tuple[PhysicalOperator, ...]:
+    """The explicit operator list for one executor routing decision."""
+    if executor == "constant-empty":
+        return (PhysicalOperator(op="ConstantEmpty"),)
+    estimates = {source.node_id: source.estimate for source in logical.sources}
+    total = sum(estimates.values())
+    if executor == "twigstackd":
+        return (PhysicalOperator(op="BaselineDelegate", estimate=total),)
+    pipeline = [PhysicalOperator(op="CandidateScan", estimate=total)]
+    pipeline.extend(
+        PhysicalOperator(op="DownwardPrune", target=node_id, estimate=estimates[node_id])
+        for node_id in downward_order
+    )
+    pipeline.extend(
+        [
+            PhysicalOperator(op="UpwardPrune", estimate=total),
+            PhysicalOperator(op="BuildMatchingGraph"),
+            PhysicalOperator(op="CollectResults"),
+        ]
+    )
+    return tuple(pipeline)
 
 
 def build_physical_plan(
@@ -70,8 +166,9 @@ def build_physical_plan(
     *,
     index: str = "auto",
     stats: GraphStats | None = None,
+    profile: "CostProfile | None" = None,
 ) -> PhysicalPlan:
-    """Cost the logical plan and fix index, executor and prune order.
+    """Cost the logical plan and fix index, executor and operator list.
 
     Args:
         graph: the data graph.
@@ -83,12 +180,14 @@ def build_physical_plan(
         stats: precomputed :func:`~repro.graph.stats.graph_stats` (the
             session layer caches them per graph version); computed on
             demand when omitted.
+        profile: the session's observed :class:`CostProfile`; when given,
+            measured per-element rates calibrate the executor inequality
+            and may override the index ladder.
     """
     if stats is None:
         stats = graph_stats(graph)
     if index == "auto":
-        index_name = choose_index(stats)
-        index_reason = "cost model: graph-shape ladder"
+        index_name, index_reason = choose_index_detail(stats, profile, graph.version)
     else:
         # Deferred import: the factory imports this package's cost model.
         from ..reachability.factory import available_indexes
@@ -108,14 +207,23 @@ def build_physical_plan(
             downward_order=logical.downward_order,
             cost=None,
             index_reason=index_reason,
+            operators=build_operator_pipeline("constant-empty", logical, logical.downward_order),
         )
 
     estimates = {source.node_id: source.estimate for source in logical.sources}
-    cost = estimate_executor(stats, logical.query, estimates)
+    cost = estimate_executor(
+        stats,
+        logical.query,
+        estimates,
+        profile=profile,
+        index_name=index_name,
+        graph_version=graph.version,
+    )
     return PhysicalPlan(
         index_name=index_name,
         executor=cost.executor,
         downward_order=logical.downward_order,
         cost=cost,
         index_reason=index_reason,
+        operators=build_operator_pipeline(cost.executor, logical, logical.downward_order),
     )

@@ -1,0 +1,59 @@
+"""Tier-1 coverage of the adaptive-executor harness and CLI path.
+
+The heavyweight sweep lives in ``benchmarks/bench_adaptive.py`` (bench
+marker); these tests run the same machinery at a tiny scale so the
+harness, the skewed workload generator, and the ``repro-bench
+adaptive`` subcommand stay covered by the default suite.
+"""
+
+from repro.bench import AdaptiveMeasurement, measure_adaptive
+from repro.bench.cli import main as bench_main
+from repro.datasets import skewed_workload
+from repro.query import query_fingerprint
+
+
+class TestMeasureAdaptive:
+    def test_small_skewed_workload_meets_the_bar(self):
+        graph, queries = skewed_workload(scale=2, repeats=3)
+        measurement = measure_adaptive(graph, queries)
+        assert measurement.mismatches == 0
+        assert measurement.queries == len(queries)
+        assert measurement.prune_ops_saved >= 0.10
+        assert measurement.reordered_queries >= 1
+        assert measurement.early_exits >= 1
+        row = measurement.row()
+        assert row["ops_adaptive"] < row["ops_static"]
+
+    def test_saved_fraction_handles_empty_workload(self):
+        empty = AdaptiveMeasurement(
+            queries=0,
+            prune_ops_static=0,
+            prune_ops_adaptive=0,
+            reordered_queries=0,
+            early_exits=0,
+            static_seconds=0.0,
+            adaptive_seconds=0.0,
+            mismatches=0,
+        )
+        assert empty.prune_ops_saved == 0.0
+
+    def test_skewed_workload_is_deterministic(self):
+        _, first = skewed_workload(scale=2, repeats=2, seed=5)
+        _, second = skewed_workload(scale=2, repeats=2, seed=5)
+        assert [query_fingerprint(q) for q in first] == [
+            query_fingerprint(q) for q in second
+        ]
+
+
+class TestAdaptiveCli:
+    def test_adaptive_subcommand_runs(self, capsys):
+        code = bench_main(["adaptive", "--workload-scale", "1", "--repeats", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prune ops saved" in out
+        assert "ops_adaptive" in out
+
+    def test_adaptive_subcommand_rejects_bad_scale(self, capsys):
+        code = bench_main(["adaptive", "--workload-scale", "0"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

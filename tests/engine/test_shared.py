@@ -78,9 +78,11 @@ class TestSharedBatchCounters:
         assert shared.stats.downward_prune_ops < isolated.stats.downward_prune_ops
 
     def test_subtree_cache_serves_across_batches(self):
+        # share=True forces the DAG path even for singleton batches,
+        # which the "auto" tiny-batch guard would route isolated.
         graph = small_graph()
         session = QuerySession(graph, result_cache_size=0)
-        cold = session.evaluate_many([query_ab()])
+        cold = session.evaluate_many([query_ab()], share=True)
         assert cold.stats.subtree_cache_hits == 0
         assert cold.stats.subtree_cache_misses == 3
         warm = session.evaluate_many([query_ab_extended()])
@@ -105,7 +107,7 @@ class TestSharedBatchCounters:
 
     def test_cache_info_reports_subtree_cache(self):
         session = QuerySession(small_graph())
-        session.evaluate_many([query_ab()])
+        session.evaluate_many([query_ab()], share=True)
         info = session.cache_info()
         assert info["subtree"]["size"] == 3
 
@@ -154,6 +156,69 @@ class TestPerQueryStats:
         ):
             total = sum(getattr(stats, counter) for stats in outcome.per_query)
             assert getattr(outcome.stats, counter) == total, counter
+
+
+def query_de_disjoint():
+    """No subtree in common with ``query_ab`` (labels d only)."""
+    return (
+        QueryBuilder()
+        .backbone("r", predicate=AttributePredicate.label("d"))
+        .predicate("p", parent="r", predicate=AttributePredicate.label("d"))
+        .outputs("r")
+        .build()
+    )
+
+
+class TestTinyBatchGuard:
+    """``share="auto"`` skips DAG bookkeeping when nothing is shared."""
+
+    def test_disjoint_batch_falls_back_to_isolated_path(self):
+        graph = small_graph()
+        session = QuerySession(graph, result_cache_size=0)
+        batch = session.evaluate_many([query_ab(), query_de_disjoint()])
+        assert batch.stats.batch_share_skipped == 1
+        assert batch.stats.subtree_cache_misses == 0  # DAG never probed
+        assert batch.stats.batch_shared_subtrees == 0
+        assert batch.results[0] == evaluate_naive(query_ab(), graph)
+        assert batch.results[1] == evaluate_naive(query_de_disjoint(), graph)
+
+    def test_singleton_batch_is_skipped(self):
+        session = QuerySession(small_graph(), result_cache_size=0)
+        batch = session.evaluate_many([query_ab()])
+        assert batch.stats.batch_share_skipped == 1
+        assert len(session.subtree_cache) == 0
+
+    def test_overlapping_batch_still_shares(self):
+        session = QuerySession(small_graph(), result_cache_size=0)
+        batch = session.evaluate_many([query_ab(), query_ab_extended()])
+        assert batch.stats.batch_share_skipped == 0
+        assert batch.stats.batch_shared_subtrees == 3
+
+    def test_share_true_forces_the_dag_path(self):
+        session = QuerySession(small_graph(), result_cache_size=0)
+        batch = session.evaluate_many([query_ab()], share=True)
+        assert batch.stats.batch_share_skipped == 0
+        assert batch.stats.subtree_cache_misses == 3
+
+    def test_cached_subtrees_reenable_sharing_for_disjoint_batches(self):
+        # A warm subtree cache makes the DAG path worthwhile even for a
+        # singleton batch: the downward sets are already materialized.
+        graph = small_graph()
+        session = QuerySession(graph, result_cache_size=0)
+        session.evaluate_many([query_ab()], share=True)
+        warm = session.evaluate_many([query_ab_extended()])
+        assert warm.stats.batch_share_skipped == 0
+        assert warm.stats.subtree_cache_hits == 3
+
+    def test_guard_agrees_with_forced_sharing(self):
+        graph = small_graph()
+        auto = QuerySession(graph, result_cache_size=0).evaluate_many(
+            [query_ab(), query_de_disjoint()]
+        )
+        forced = QuerySession(graph, result_cache_size=0).evaluate_many(
+            [query_ab(), query_de_disjoint()], share=True
+        )
+        assert auto.results == forced.results
 
 
 class TestSharedRouting:

@@ -1,11 +1,13 @@
 """Randomized differential testing of the shared batch path.
 
 Seeded random (graph, batch) cases — batches with deliberately
-overlapping subtrees — cross-check three evaluators for *exact*
+overlapping subtrees — cross-check four evaluators for *exact*
 answer-set agreement:
 
 * ``QuerySession.evaluate_many`` (the shared-plan DAG path),
 * per-query ``GTEA.evaluate`` (compile → execute, no sharing),
+* per-query ``GTEA(adaptive=True).evaluate`` (the operator pipeline
+  with runtime prune reordering and the backbone-empty early exit),
 * ``evaluate_naive`` (the Section-2 semantics oracle).
 
 The default run covers 200 cases (~1000 query evaluations) on small
@@ -50,6 +52,7 @@ def run_differential_cases(
         session = QuerySession(graph)
         outcome = session.evaluate_many(batch)
         engine = GTEA(graph)
+        adaptive = GTEA(graph, adaptive=True)
         for position, (query, answer) in enumerate(zip(batch, outcome.results)):
             expected = evaluate_naive(query, graph)
             assert answer == expected, (
@@ -58,6 +61,10 @@ def run_differential_cases(
             )
             assert engine.evaluate(query) == expected, (
                 f"seed {seed} query {position}: GTEA disagrees with evaluate_naive"
+            )
+            assert adaptive.evaluate(query) == expected, (
+                f"seed {seed} query {position}: adaptive executor disagrees "
+                f"with evaluate_naive"
             )
             coverage["queries"] += 1
             coverage["nonempty"] += bool(expected)

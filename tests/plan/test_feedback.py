@@ -1,0 +1,284 @@
+"""Cost-feedback loop: observed operator stats calibrate the planner."""
+
+from repro.engine import OperatorStats, QuerySession
+from repro.graph import DataGraph, graph_stats
+from repro.plan import (
+    CostProfile,
+    choose_index_detail,
+    estimate_candidates,
+    estimate_executor,
+)
+from repro.plan.feedback import MIN_SAMPLES
+from repro.query import AttributePredicate, QueryBuilder, evaluate_naive
+
+
+def dag_graph():
+    return DataGraph.from_edges(
+        "aabbcc", [(0, 2), (0, 3), (1, 3), (2, 4), (3, 5)]
+    )
+
+
+def conjunctive_query():
+    return (
+        QueryBuilder()
+        .backbone("q_root", predicate=AttributePredicate.label("a"))
+        .backbone("q_kid", parent="q_root", predicate=AttributePredicate.label("b"))
+        .outputs("q_root")
+        .build()
+    )
+
+
+def gtea_record(seconds, volume=10):
+    return [
+        OperatorStats(
+            op="CandidateScan",
+            target=None,
+            input_size=0,
+            output_size=volume,
+            seconds=seconds / 2,
+            index_lookups=0,
+            index_entries=0,
+        ),
+        OperatorStats(
+            op="DownwardPrune",
+            target="q_root",
+            input_size=volume,
+            output_size=volume,
+            seconds=seconds / 2,
+            index_lookups=1,
+            index_entries=2,
+        ),
+    ]
+
+
+def baseline_record(seconds, elements=100):
+    return [
+        OperatorStats(
+            op="BaselineDelegate",
+            target=None,
+            input_size=elements,
+            output_size=1,
+            seconds=seconds,
+            index_lookups=0,
+            index_entries=0,
+        )
+    ]
+
+
+def fill(profile, *, index_name, executor, records, graph_version=0, runs=MIN_SAMPLES):
+    for _ in range(runs):
+        profile.record(
+            index_name=index_name,
+            executor=executor,
+            graph_version=graph_version,
+            operator_stats=records,
+        )
+
+
+class TestCostProfile:
+    def test_rates_require_min_samples(self):
+        profile = CostProfile()
+        fill(profile, index_name="tc", executor="gtea",
+             records=gtea_record(1e-3), runs=MIN_SAMPLES - 1)
+        assert profile.observed_rate("tc", 0) is None
+        profile.record(index_name="tc", executor="gtea", graph_version=0,
+                       operator_stats=gtea_record(1e-3))
+        assert profile.observed_rate("tc", 0) is not None
+
+    def test_rates_are_keyed_by_graph_version(self):
+        profile = CostProfile()
+        fill(profile, index_name="tc", executor="gtea",
+             records=gtea_record(1e-3), graph_version=1)
+        assert profile.observed_rate("tc", 1) is not None
+        assert profile.observed_rate("tc", 2) is None
+
+    def test_empty_records_are_ignored(self):
+        profile = CostProfile()
+        profile.record(index_name="tc", executor="gtea", graph_version=0,
+                       operator_stats=[])
+        assert profile.executions() == 0
+
+    def test_old_version_keys_are_pruned_on_newer_records(self):
+        profile = CostProfile()
+        fill(profile, index_name="tc", executor="gtea",
+             records=gtea_record(1e-3), graph_version=1)
+        fill(profile, index_name="tc", executor="gtea",
+             records=gtea_record(1e-3), graph_version=5)
+        keys = list(profile.snapshot())
+        # Only the latest and the immediately preceding version survive.
+        assert all(key.endswith("v5") or key.endswith("v4") for key in keys)
+        assert profile.observed_rate("tc", 1) is None
+
+    def test_snapshot_summarizes_keys(self):
+        profile = CostProfile()
+        fill(profile, index_name="tc", executor="gtea", records=gtea_record(1e-3))
+        snapshot = profile.snapshot()
+        assert "tc/gtea/v0" in snapshot
+        assert snapshot["tc/gtea/v0"]["executions"] == MIN_SAMPLES
+
+
+class TestExecutorCalibration:
+    def test_profile_flips_executor_choice(self):
+        """A profile built from observed stats changes the pick.
+
+        The abstract model prefers GTEA for this selective query; the
+        observed rates say GTEA is slow per candidate while the baseline
+        sweeps are cheap per element, so the calibrated inequality picks
+        TwigStackD for the same query.
+        """
+        graph = dag_graph()
+        query = conjunctive_query()
+        stats = graph_stats(graph)
+        estimates = estimate_candidates(graph, query)
+
+        default = estimate_executor(stats, query, estimates)
+        assert default.executor == "gtea" and not default.calibrated
+
+        profile = CostProfile()
+        fill(profile, index_name="tc", executor="gtea",
+             records=gtea_record(seconds=1.0), graph_version=graph.version)
+        fill(profile, index_name="tc", executor="twigstackd",
+             records=baseline_record(seconds=1e-9), graph_version=graph.version)
+        calibrated = estimate_executor(
+            stats, query, estimates,
+            profile=profile, index_name="tc", graph_version=graph.version,
+        )
+        assert calibrated.calibrated
+        assert calibrated.executor == "twigstackd"
+        assert calibrated.executor != default.executor
+
+    def test_calibration_needs_both_arms(self):
+        graph = dag_graph()
+        query = conjunctive_query()
+        stats = graph_stats(graph)
+        estimates = estimate_candidates(graph, query)
+        profile = CostProfile()
+        fill(profile, index_name="tc", executor="gtea",
+             records=gtea_record(seconds=1.0), graph_version=graph.version)
+        # No baseline observations: the abstract constants stay in force.
+        estimate = estimate_executor(
+            stats, query, estimates,
+            profile=profile, index_name="tc", graph_version=graph.version,
+        )
+        assert not estimate.calibrated and estimate.executor == "gtea"
+
+    def test_inadmissible_routes_stay_gtea_even_when_calibrated(self):
+        graph = DataGraph.from_edges("ab", [(0, 1), (1, 0)])  # cyclic
+        query = conjunctive_query()
+        stats = graph_stats(graph)
+        estimates = estimate_candidates(graph, query)
+        profile = CostProfile()
+        fill(profile, index_name="tc", executor="gtea",
+             records=gtea_record(seconds=1.0), graph_version=graph.version)
+        fill(profile, index_name="tc", executor="twigstackd",
+             records=baseline_record(seconds=1e-9), graph_version=graph.version)
+        estimate = estimate_executor(
+            stats, query, estimates,
+            profile=profile, index_name="tc", graph_version=graph.version,
+        )
+        assert estimate.executor == "gtea"  # DAG-only baseline
+
+
+class TestIndexOverride:
+    def test_observed_cheaper_index_overrides_ladder(self):
+        graph = dag_graph()
+        stats = graph_stats(graph)
+        assert choose_index_detail(stats)[0] == "tc"  # tiny-graph rung
+
+        profile = CostProfile()
+        fill(profile, index_name="tc", executor="gtea",
+             records=gtea_record(seconds=1.0), graph_version=graph.version)
+        fill(profile, index_name="3hop", executor="gtea",
+             records=gtea_record(seconds=1e-6), graph_version=graph.version)
+        name, reason = choose_index_detail(stats, profile, graph.version)
+        assert name == "3hop"
+        assert "cost profile" in reason
+
+    def test_unobserved_ladder_pick_is_not_overridden(self):
+        graph = dag_graph()
+        stats = graph_stats(graph)
+        profile = CostProfile()
+        fill(profile, index_name="3hop", executor="gtea",
+             records=gtea_record(seconds=1e-6), graph_version=graph.version)
+        # The ladder pick (tc) has no observations: the heuristic wins.
+        assert choose_index_detail(stats, profile, graph.version)[0] == "tc"
+
+
+class TestSessionFeedback:
+    def test_session_records_observed_operator_stats(self):
+        graph = dag_graph()
+        session = QuerySession(graph)
+        assert session.cost_profile.executions() == 0
+        session.evaluate(conjunctive_query())
+        assert session.cost_profile.executions() == 1
+        snapshot = session.cost_profile.snapshot()
+        assert any("/gtea/" in key for key in snapshot)
+
+    def test_session_profile_changes_subsequent_compilation(self):
+        """End to end: observations steer a *later* compilation."""
+        graph = dag_graph()
+        session = QuerySession(graph)
+        query = conjunctive_query()
+        for _ in range(MIN_SAMPLES):
+            session.evaluate(query)
+            session.result_cache.clear()  # force re-execution
+        # Pretend the baseline was also observed, and measured far
+        # cheaper per element than GTEA's real observed rate.
+        fill(session.cost_profile, index_name=session.resolved_index,
+             executor="twigstackd", records=baseline_record(seconds=1e-12),
+             graph_version=graph.version)
+        fresh = (
+            QueryBuilder()
+            .backbone("q_root", predicate=AttributePredicate.label("b"))
+            .backbone("q_kid", parent="q_root", predicate=AttributePredicate.label("c"))
+            .outputs("q_root")
+            .build()
+        )
+        plan = session.plan(fresh)
+        assert plan.compiled.physical.cost.calibrated
+        assert plan.compiled.physical.executor == "twigstackd"
+        assert "calibrated from observed stats" in session.explain(fresh)
+        # The calibrated route still answers correctly.
+        assert session.evaluate(fresh) == evaluate_naive(fresh, graph)
+
+    def test_group_node_evaluations_do_not_pollute_the_profile(self):
+        # Group evaluation runs the GTEA pipeline over the original
+        # query regardless of the routed executor; recording it would
+        # file pipeline stats under the wrong calibration arm.
+        graph = dag_graph()
+        session = QuerySession(graph)
+        session.evaluate(conjunctive_query(), group_nodes=("q_kid",))
+        assert session.cost_profile.executions() == 0
+
+    def test_shared_batch_executions_are_filed_separately(self):
+        graph = dag_graph()
+        session = QuerySession(graph)
+        q1 = conjunctive_query()
+        q2 = (
+            QueryBuilder()
+            .backbone("q_top", predicate=AttributePredicate.label("a"))
+            .backbone("q_root", parent="q_top", predicate=AttributePredicate.label("a"))
+            .backbone("q_kid", parent="q_root", predicate=AttributePredicate.label("b"))
+            .outputs("q_top")
+            .build()
+        )
+        session.evaluate_many([q1, q2], share=True)
+        snapshot = session.cost_profile.snapshot()
+        assert any("/gtea-shared/" in key for key in snapshot)
+        # The shared key never feeds the executor calibration.
+        assert session.cost_profile.executor_costs(
+            session.resolved_index, graph.version
+        ) is None
+
+    def test_profile_survives_invalidation_but_is_version_scoped(self):
+        graph = dag_graph()
+        session = QuerySession(graph)
+        session.evaluate(conjunctive_query())
+        version = graph.version
+        graph.add_node(label="z")  # bump the version
+        session.evaluate(conjunctive_query())
+        assert session.cost_profile.executions() == 2
+        # Both versions keep their keys; consultation is version-scoped.
+        keys = list(session.cost_profile.snapshot())
+        assert any(key.endswith(f"v{version}") for key in keys)
+        assert any(key.endswith(f"v{graph.version}") for key in keys)
