@@ -1,0 +1,91 @@
+"""Sharded prune execution: worker-count scaling on the funnel workload.
+
+The workload of ``repro.datasets.parallel_workload`` is built so the
+downward prune phase dominates (broad AD candidate sets valuated against
+a tiny early target slice) and divides evenly across candidate shards.
+The same compiled plans run through ``repro.engine.parallel``'s sharded
+executor at 1, 2 and 4 workers (shards = workers, range routing), and
+the headline metric is the summed ``prune_downward`` phase time.
+
+Correctness is asserted unconditionally: answers must match the serial
+engine exactly, and every worker count's per-node survivor sets must be
+byte-identical to the single-shard run (the determinism contract of
+``repro.graph.partition``).
+
+The scaling bar — >= 1.5x prune-phase speedup at 4 workers vs 1 — only
+enforces on machines with >= 4 usable cores (CI runners): sharding
+cannot beat the clock on a single core, where the sweep still verifies
+determinism and bounded overhead.
+
+Results land in ``benchmarks/reports/parallel.json`` (machine-readable)
+and as a table on stdout.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.bench import format_table, measure_parallel
+from repro.datasets import parallel_workload
+
+from .conftest import emit_report
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: (scale, queries) sweep — graph nodes are ``600 * scale``.
+SCALES = ((2, 4), (4, 6))
+SEED = 47
+WORKER_COUNTS = (1, 2, 4)
+#: prune-phase speedup required at 4 workers, enforced on >= 4 cores.
+SPEEDUP_FLOOR = 1.5
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def test_parallel_scaling_report():
+    rows = []
+    payload = {
+        "seed": SEED,
+        "worker_counts": list(WORKER_COUNTS),
+        "usable_cores": usable_cores(),
+        "scales": {},
+    }
+    enforce = usable_cores() >= max(WORKER_COUNTS)
+    for scale, queries in SCALES:
+        graph, workload = parallel_workload(scale=scale, queries=queries, seed=SEED)
+        measurement = measure_parallel(graph, workload, worker_counts=WORKER_COUNTS)
+        # Determinism contract: exact answers, byte-identical survivors.
+        assert measurement.mismatches == 0
+        assert measurement.survivor_mismatches == 0
+        for point, row in zip(measurement.points, measurement.rows()):
+            rows.append([f"{scale}x{queries}", measurement.backend, *row.values()])
+        payload["scales"][f"{scale}x{queries}"] = {
+            "graph_nodes": graph.num_nodes,
+            "backend": measurement.backend,
+            "strategy": measurement.strategy,
+            "speedup_at_max_workers": round(measurement.speedup(max(WORKER_COUNTS)), 3),
+            "points": measurement.rows(),
+        }
+        if enforce:
+            assert measurement.speedup(max(WORKER_COUNTS)) >= SPEEDUP_FLOOR, (
+                f"prune-phase speedup at {max(WORKER_COUNTS)} workers below "
+                f"{SPEEDUP_FLOOR}x on scale {scale}"
+            )
+
+    emit_report(
+        "parallel",
+        format_table(
+            "Sharded prune execution: worker-count scaling (funnel workload)",
+            ["scale", "backend", "workers", "prune_ms", "wall_ms", "speedup", "shard_tasks"],
+            rows,
+        ),
+    )
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / "parallel.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

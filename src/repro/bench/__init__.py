@@ -4,10 +4,13 @@ from .harness import (
     AdaptiveMeasurement,
     AlgorithmSuite,
     Measurement,
+    ParallelMeasurement,
+    ParallelScalePoint,
     WarmColdMeasurement,
     format_table,
     mean,
     measure_adaptive,
+    measure_parallel,
     measure_warm_cold,
 )
 
@@ -15,9 +18,12 @@ __all__ = [
     "AdaptiveMeasurement",
     "AlgorithmSuite",
     "Measurement",
+    "ParallelMeasurement",
+    "ParallelScalePoint",
     "WarmColdMeasurement",
     "format_table",
     "mean",
     "measure_adaptive",
+    "measure_parallel",
     "measure_warm_cold",
 ]

@@ -12,7 +12,11 @@ Subcommands:
   sharing structure (``QuerySession.explain_batch``);
 * ``adaptive`` — the adaptive operator pipeline (runtime prune
   reordering + backbone-empty early exit) vs the static plan order on
-  the skewed workload whose label statistics mislead the estimates.
+  the skewed workload whose label statistics mislead the estimates;
+* ``parallel`` — sharded, concurrent downward-prune execution
+  (``repro.engine.parallel``) swept over worker counts on the funnel
+  workload, with exact-answer and byte-identical-survivor checks
+  against the single-shard run.
 
 Installed as a console script by ``pip install .``; run ``repro-bench
 --help`` for options.
@@ -28,6 +32,7 @@ import time
 from ..datasets import (
     fig7_query,
     generate_xmark,
+    parallel_workload,
     random_labeled_graph,
     random_query_batch,
     skewed_workload,
@@ -35,7 +40,12 @@ from ..datasets import (
 from ..engine import QuerySession
 from ..graph import graph_stats
 from ..reachability import select_auto_index
-from .harness import format_table, measure_adaptive, measure_warm_cold
+from .harness import (
+    format_table,
+    measure_adaptive,
+    measure_parallel,
+    measure_warm_cold,
+)
 
 
 def _build_workload(repeats: int):
@@ -200,6 +210,69 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    if args.workload_scale < 1 or args.queries < 1:
+        print(
+            "repro-bench: error: --workload-scale and --queries must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    workers = tuple(dict.fromkeys(args.workers))  # dedupe, keep order
+    if any(count < 1 for count in workers) or 1 not in workers:
+        print(
+            "repro-bench: error: --workers must be positive and include 1 "
+            "(the single-shard baseline)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.floor_slack < 0.0:
+        print("repro-bench: error: --floor-slack must be >= 0", file=sys.stderr)
+        return 2
+    graph, queries = parallel_workload(
+        scale=args.workload_scale, queries=args.queries, seed=args.seed
+    )
+    try:
+        measurement = measure_parallel(
+            graph, queries, worker_counts=workers, backend=args.backend
+        )
+    except ValueError as error:  # e.g. an unknown --backend name
+        print(f"repro-bench: error: {error}", file=sys.stderr)
+        return 2
+    if measurement.mismatches or measurement.survivor_mismatches:
+        print(
+            "repro-bench: error: sharded and single-shard execution disagree "
+            "(this is a bug — please report the seed)",
+            file=sys.stderr,
+        )
+        return 1
+    rows = measurement.rows()
+    print(format_table(
+        f"Sharded prune execution ({len(queries)} funnel queries, "
+        f"n={graph.num_nodes}, backend={measurement.backend}, "
+        f"strategy={measurement.strategy})",
+        list(rows[0]),
+        [list(row.values()) for row in rows],
+    ))
+    top = max(workers)
+    print(f"prune-phase speedup at {top} workers: {measurement.speedup(top):.2f}x")
+    if args.enforce_floor:
+        # CI sanity floor: concurrency must not *cost* wall time beyond
+        # the slack — a loose bound that holds even on few-core runners
+        # where real speedup is unattainable.
+        base = next(p for p in measurement.points if p.workers == 1)
+        point = next(p for p in measurement.points if p.workers == top)
+        budget = base.wall_seconds * (1.0 + args.floor_slack)
+        if point.wall_seconds > budget:
+            print(
+                f"repro-bench: error: wall time at {top} workers "
+                f"({point.wall_seconds * 1e3:.1f} ms) exceeds the "
+                f"single-shard budget ({budget * 1e3:.1f} ms)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -254,6 +327,26 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive.add_argument("--repeats", type=int, default=8,
                           help="copies of each skewed query shape (default 8)")
     adaptive.set_defaults(func=_cmd_adaptive)
+
+    parallel = subparsers.add_parser(
+        "parallel", help="sharded concurrent prune execution vs single-shard"
+    )
+    parallel.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                          help="worker counts to sweep; must include 1 "
+                               "(default: 1 2 4)")
+    parallel.add_argument("--workload-scale", type=int, default=2,
+                          help="funnel-graph scale factor (default 2)")
+    parallel.add_argument("--queries", type=int, default=4,
+                          help="funnel queries in the workload (default 4)")
+    parallel.add_argument("--backend", default="auto",
+                          help="pool backend: auto, process, thread or serial "
+                               "(default: auto)")
+    parallel.add_argument("--enforce-floor", action="store_true",
+                          help="fail unless wall time at the top worker count "
+                               "stays within the single-shard budget")
+    parallel.add_argument("--floor-slack", type=float, default=0.25,
+                          help="budget slack for --enforce-floor (default 0.25)")
+    parallel.set_defaults(func=_cmd_parallel)
     return parser
 
 

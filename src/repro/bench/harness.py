@@ -331,3 +331,128 @@ def measure_adaptive(graph: DataGraph, queries: list[GTPQ]) -> AdaptiveMeasureme
         adaptive_seconds=adaptive_seconds,
         mismatches=mismatches,
     )
+
+
+@dataclass
+class ParallelScalePoint:
+    """One worker count of a :class:`ParallelMeasurement` sweep."""
+
+    workers: int
+    prune_seconds: float  #: summed ``prune_downward`` phase time.
+    wall_seconds: float  #: end-to-end workload wall time.
+    shard_tasks: int  #: pool tasks dispatched across the workload.
+
+
+@dataclass
+class ParallelMeasurement:
+    """Prune-phase scaling of the sharded executor on one workload.
+
+    The same compiled plans run through a
+    :class:`~repro.engine.parallel.ParallelExecutor` at each worker
+    count (shards = workers); answers are compared exactly against the
+    serial engine, and the per-node survivor sets of every worker count
+    are compared against the single-shard run — ``mismatches`` and
+    ``survivor_mismatches`` must both be zero (the determinism contract
+    of :mod:`repro.graph.partition`).
+    """
+
+    queries: int
+    backend: str
+    strategy: str
+    points: list[ParallelScalePoint]
+    mismatches: int
+    survivor_mismatches: int
+
+    def speedup(self, workers: int) -> float:
+        """Prune-phase speedup of ``workers`` over the 1-worker run."""
+        base = next(p for p in self.points if p.workers == 1)
+        point = next(p for p in self.points if p.workers == workers)
+        return base.prune_seconds / point.prune_seconds if point.prune_seconds else 0.0
+
+    def rows(self) -> list[dict[str, float]]:
+        base = self.points[0].prune_seconds if self.points else 0.0
+        return [
+            {
+                "workers": point.workers,
+                "prune_ms": round(point.prune_seconds * 1e3, 2),
+                "wall_ms": round(point.wall_seconds * 1e3, 2),
+                "speedup": round(base / point.prune_seconds, 3)
+                if point.prune_seconds
+                else 0.0,
+                "shard_tasks": point.shard_tasks,
+            }
+            for point in self.points
+        ]
+
+
+def measure_parallel(
+    graph: DataGraph,
+    queries: list[GTPQ],
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    backend: str = "auto",
+    strategy: str = "range",
+) -> ParallelMeasurement:
+    """Sweep worker counts over ``queries`` with sharded execution.
+
+    Plans are compiled and the index is built outside every measured
+    region; each worker count gets one unmeasured warmup pass (pool
+    spin-up, worker-side query caches) before its timed pass.  The
+    ``"range"`` strategy is the default because it keeps each shard's
+    candidates on few 3-hop chains — hash sharding makes every shard
+    re-scan overlapping chain regions, which inflates total work.
+    """
+    from ..engine.parallel import ParallelExecutor
+
+    engine = GTEA(graph, index="auto")
+    engine.reachability  # build outside the measured regions
+    plans = [engine.compile(query) for query in queries]
+    reference = [engine.execute(plan)[0] for plan in plans]
+
+    mismatches = survivor_mismatches = 0
+    baseline_survivors: list[dict[str, int]] | None = None
+    points: list[ParallelScalePoint] = []
+    resolved_backend = backend
+    for workers in worker_counts:
+        executor = ParallelExecutor(
+            engine, workers, backend=backend, shards=workers,
+            strategy=strategy, min_shard_size=1,
+        )
+        try:
+            resolved_backend = executor.backend
+            for plan in plans:  # warmup: pool spin-up, worker caches
+                executor.execute(plan)
+            survivors: list[dict[str, int]] = []
+            prune_seconds = 0.0
+            shard_tasks = 0
+            started = time.perf_counter()
+            for plan, expected in zip(plans, reference):
+                results, stats = executor.execute(plan)
+                mismatches += results != expected
+                survivors.append(dict(stats.candidates_after_downward))
+                prune_seconds += stats.phase_seconds.get("prune_downward", 0.0)
+                shard_tasks += stats.parallel_shard_tasks
+            wall_seconds = time.perf_counter() - started
+        finally:
+            executor.close()
+        if baseline_survivors is None:
+            baseline_survivors = survivors
+        else:
+            survivor_mismatches += sum(
+                a != b for a, b in zip(baseline_survivors, survivors)
+            )
+        points.append(
+            ParallelScalePoint(
+                workers=workers,
+                prune_seconds=prune_seconds,
+                wall_seconds=wall_seconds,
+                shard_tasks=shard_tasks,
+            )
+        )
+    return ParallelMeasurement(
+        queries=len(queries),
+        backend=resolved_backend,
+        strategy=strategy,
+        points=points,
+        mismatches=mismatches,
+        survivor_mismatches=survivor_mismatches,
+    )

@@ -5,6 +5,8 @@ from .dblp import AUTHOR_POOL, DblpGraph, generate_dblp
 from .random_queries import (
     GeneratedQuery,
     generate_query_groups,
+    parallel_graph,
+    parallel_workload,
     random_embedded_query,
     random_labeled_graph,
     random_query_batch,
@@ -44,6 +46,8 @@ __all__ = [
     "generate_dblp",
     "generate_query_groups",
     "generate_xmark",
+    "parallel_graph",
+    "parallel_workload",
     "random_embedded_query",
     "random_labeled_graph",
     "random_query_batch",

@@ -351,3 +351,95 @@ def skewed_workload(
         )
         queries.extend((empty, order, plain))
     return graph, queries
+
+
+# ----------------------------------------------------------------------
+# Shard-friendly workloads (parallel-executor benchmark inputs)
+# ----------------------------------------------------------------------
+def parallel_graph(scale: int, rng: random.Random, span: int = 30) -> DataGraph:
+    """A deep local-span DAG whose AD pruning is shard-divisible.
+
+    ``600 * scale`` nodes over three labels; every node draws two
+    incoming edges from the ``span`` nodes before it (O(n·span)
+    generation, no quadratic pair loop), plus a couple of local back
+    edges so the graph is not a pure DAG.  The local-span structure
+    yields long reachability chains, so AD valuations do real per-chain
+    scanning work *per candidate*.
+
+    A small **early slice** of nodes (ids ``span .. span + n/100``, all
+    labels) carries ``kind=1``.  Queries that funnel into that slice do
+    heavy downward pruning — every broad candidate set is valuated
+    against a tiny, early target set, so most candidates scan their full
+    index entry lists before failing — while survivor sets (and with
+    them the upward/matching-graph/collect suffix) stay small.  That is
+    the shape candidate sharding divides across workers.
+    """
+    graph = DataGraph()
+    num_nodes = 600 * scale
+    special = range(span, span + max(12, num_nodes // 100))
+    for node in range(num_nodes):
+        attrs = {"kind": 1} if node in special else None
+        graph.add_node(attrs, label=rng.choice("abc"))
+    for target in range(1, num_nodes):
+        lower = max(0, target - span)
+        for _ in range(2):
+            graph.add_edge(rng.randrange(lower, target), target)
+    for _ in range(2):
+        target = rng.randrange(span, num_nodes)
+        graph.add_edge(target, rng.randrange(max(0, target - span), target))
+    return graph
+
+
+def parallel_workload(
+    scale: int = 4, queries: int = 6, seed: int = 47
+) -> tuple[DataGraph, list[GTPQ]]:
+    """A (graph, queries) pair whose prune phase shards near-linearly.
+
+    AD-heavy funnel patterns over :func:`parallel_graph`, alternating
+    two shapes (distinct output choices keep the copies' fingerprints
+    distinct):
+
+    * **deep** — ``a → b → (kind=1)``: the ``b`` visit valuates ~n/3
+      candidates against the tiny early slice's contour, the ``a``
+      visit against ``b``'s small survivor set;
+    * **wide** — ``a`` with two AD children pinning ``kind=1`` plus a
+      label each: one visit, two-child valuation per candidate.
+
+    Because the funnel target sits early in the DAG, most candidates
+    exhaust their index entry lists before failing — real per-candidate
+    work that divides evenly across shards — and the small survivor
+    sets keep the (unsharded) suffix phases negligible.  (Contrast
+    :func:`skewed_workload`, whose shapes are cheap per candidate —
+    sharding them moves no real work.)
+    """
+    rng = random.Random(seed)
+    graph = parallel_graph(scale, rng)
+    workload: list[GTPQ] = []
+    for copy in range(queries):
+        if copy % 2 == 0:
+            builder = (
+                QueryBuilder()
+                .backbone("a", predicate=AttributePredicate.label("a"))
+                .backbone("b", parent="a", predicate=AttributePredicate.label("b"))
+                .backbone("c", parent="b", predicate=AttributePredicate([("kind", "=", 1)]))
+            )
+            backbone = ["a", "b", "c"]
+        else:
+            builder = (
+                QueryBuilder()
+                .backbone("a", predicate=AttributePredicate.label("a"))
+                .backbone(
+                    "b",
+                    parent="a",
+                    predicate=AttributePredicate([("label", "=", "b"), ("kind", "=", 1)]),
+                )
+                .backbone(
+                    "c",
+                    parent="a",
+                    predicate=AttributePredicate([("label", "=", "c"), ("kind", "=", 1)]),
+                )
+            )
+            backbone = ["a", "b", "c"]
+        builder.outputs(*backbone[: 1 + (copy // 2) % 3])
+        workload.append(builder.build())
+    return graph, workload

@@ -18,6 +18,10 @@ points:
   (:meth:`QuerySession.evaluate_many`) that deduplicates repeated
   queries and :meth:`QuerySession.explain` for plan inspection.  Use it
   whenever more than one query hits the same graph.
+
+:class:`ParallelExecutor` (:mod:`repro.engine.parallel`) shards the
+downward prune phase across a worker pool — byte-identical to serial
+execution — and is wired in with ``QuerySession(parallel=...)``.
 """
 
 from .cache import CacheCounters, LRUCache
@@ -38,6 +42,7 @@ from .operators import (
     executed_downward_order,
     run_pipeline,
 )
+from .parallel import ParallelExecutor, ParallelOptions
 from .prime import compute_prime_subtree, shrink_prime_subtree
 from .prune import PruningContext, prune_downward, prune_upward
 from .results import collect_results
@@ -61,6 +66,8 @@ __all__ = [
     "MatchingGraph",
     "Operator",
     "OperatorStats",
+    "ParallelExecutor",
+    "ParallelOptions",
     "PruningContext",
     "QueryPlan",
     "QuerySession",

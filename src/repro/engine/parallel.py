@@ -1,0 +1,709 @@
+"""Sharded, concurrent prune execution across a worker pool.
+
+The downward prune phase is the natural parallelism seam of the GTEA
+pipeline: once a node's children are refined, its Procedure-6 visit
+(:func:`repro.engine.prune.downward_step`) evaluates ``fext``
+independently per candidate, and nodes on disjoint subtrees have no
+data dependencies at all.  :class:`ParallelExecutor` exploits both axes
+without modifying the operators themselves:
+
+* **frontier dispatch** — the eligibility set of the adaptive scheduler
+  (nodes whose children are all refined) becomes a dispatch frontier;
+  every eligible node's prune is launched concurrently;
+* **candidate sharding** — each node's candidate set is split by a
+  :class:`repro.graph.partition.GraphPartition` into shards refined as
+  independent pool tasks, and the shard survivor sets are merged with
+  :func:`repro.graph.partition.merge_survivors` (sorted by node id)
+  before :class:`~repro.engine.operators.UpwardPrune` runs — so a
+  sharded run is byte-identical to a single-shard run in results and
+  survivor sets.
+
+Three backends: ``"process"`` (a fork-started
+:class:`~concurrent.futures.ProcessPoolExecutor`; workers inherit the
+graph and the built reachability index by memory, tasks ship only the
+query JSON, the candidate shard, the refined child sets and the contour
+data), ``"thread"`` (in-process pool; real concurrency is GIL-bound but
+the dispatch machinery is identical), and ``"serial"`` (inline
+execution through the same code path — the deterministic reference the
+oracle harness compares against).  ``"auto"`` picks ``"process"`` where
+fork is available.
+
+The driver keeps :class:`~repro.engine.operators.CandidateScan` and the
+suffix operators (UpwardPrune → BuildMatchingGraph → CollectResults) on
+the plan's ordinary pipeline; only the downward phase is farmed out.
+Leaf nodes and empty candidate sets are refined inline (their prune is
+O(set size) with no index work — not worth a task).  Like the adaptive
+scheduler, the driver short-circuits to the empty answer as soon as a
+backbone node's merged survivor set comes back empty.
+
+Index-probe attribution is exact under the ``"serial"`` and
+``"process"`` backends (per-task counter deltas; process workers are
+single-threaded).  The ``"thread"`` backend shares one counter set
+across concurrent tasks, so per-record attribution there is
+approximate.  Probe *counts* legitimately differ from the serial
+executor — per-shard chain scans and per-shard memoization repeat work
+the single-shard pass shares — while results and survivor sets do not.
+
+Batch workloads go through :meth:`ParallelExecutor.materialize_dag`:
+the topological order of a :class:`~repro.plan.shared.SharedPlanDAG`
+becomes a batch-wide frontier (subtrees whose child fingerprints are
+materialized dispatch concurrently), with the same cache and stats
+bookkeeping as the serial :class:`~repro.engine.shared.SharedExecutor`.
+
+Wire-up: ``QuerySession(parallel=...)`` accepts a worker count or a
+:class:`ParallelOptions` and routes GTEA-executor plans here, both for
+:meth:`~repro.engine.session.QuerySession.evaluate` and for the shared
+batch path of :meth:`~repro.engine.session.QuerySession.evaluate_many`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from ..graph.partition import GraphPartition, merge_survivors
+from ..plan.compile import CompiledPlan
+from ..plan.shared import BatchPlan
+from ..query.gtpq import EdgeType
+from ..query.naive import candidate_nodes
+from ..query.serialize import query_from_json, query_to_json
+from ..reachability.contour import Contour
+from .cache import CacheCounters, LRUCache
+from .operators import (
+    BuildMatchingGraph,
+    CandidateScan,
+    CollectResults,
+    ExecutionState,
+    OperatorStats,
+    UpwardPrune,
+    run_pipeline,
+)
+from .prune import PruningContext, build_pred_contour, downward_step
+from .results import ResultSet
+from .stats import EvaluationStats
+
+#: backends :class:`ParallelOptions` accepts.
+BACKENDS = ("auto", "process", "thread", "serial")
+
+
+@dataclass(frozen=True)
+class ParallelOptions:
+    """Configuration of one :class:`ParallelExecutor`.
+
+    Attributes:
+        workers: pool size (and the default shard count).
+        backend: one of :data:`BACKENDS`; ``"auto"`` resolves to
+            ``"process"`` where fork is available, else ``"thread"``.
+        shards: shards per downward prune (defaults to ``workers``).
+        strategy: candidate routing strategy of
+            :class:`~repro.graph.partition.GraphPartition`.
+        min_shard_size: candidates required per shard before a node's
+            set is split further — small sets run as one task.
+    """
+
+    workers: int = 2
+    backend: str = "auto"
+    shards: int | None = None
+    strategy: str = "hash"
+    min_shard_size: int = 16
+
+
+def _resolve_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown parallel backend {backend!r}; expected one of {BACKENDS}")
+    if backend != "auto":
+        return backend
+    import multiprocessing
+
+    return "process" if "fork" in multiprocessing.get_all_start_methods() else "thread"
+
+
+# ----------------------------------------------------------------------
+# Shard tasks.  One task = one (query node, candidate shard) refinement;
+# the function is backend-agnostic and the process backend wraps it with
+# fork-inherited graph/index state.
+# ----------------------------------------------------------------------
+def _run_shard(graph, reach, query, node_id, candidates, refined_children, contour_data):
+    """Refine one candidate shard; returns (survivors, lookups, entries).
+
+    ``contour_data`` carries the raw per-chain maps of the AD children's
+    predecessor contours (3-hop index only); the task rebuilds
+    :class:`~repro.reachability.contour.Contour` objects around them so
+    :func:`~repro.engine.prune.downward_step` sees exactly the state the
+    serial :class:`~repro.engine.operators.DownwardPrune` operator would.
+    """
+    before = reach.counters.snapshot()
+    context = PruningContext(graph, query, reach)
+    if contour_data:
+        for child_id, data in contour_data.items():
+            context.pred_contours[child_id] = Contour(dict(data))
+    survivors = downward_step(context, node_id, list(candidates), refined_children)
+    after = reach.counters.snapshot()
+    return (
+        survivors,
+        after["lookups"] - before["lookups"],
+        after["entries_scanned"] - before["entries_scanned"],
+    )
+
+
+#: fork-inherited per-process state of the process backend's workers.
+_WORKER_STATE: dict = {}
+
+
+def _init_process_worker(graph, reach) -> None:
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["reach"] = reach
+    _WORKER_STATE["queries"] = {}
+
+
+def _process_shard_task(query_json, node_id, candidates, refined_children, contour_data):
+    queries = _WORKER_STATE["queries"]
+    query = queries.get(query_json)
+    if query is None:
+        if len(queries) >= 256:
+            queries.clear()
+        query = query_from_json(query_json)
+        queries[query_json] = query
+    survivors, lookups, entries = _run_shard(
+        _WORKER_STATE["graph"],
+        _WORKER_STATE["reach"],
+        query,
+        node_id,
+        candidates,
+        refined_children,
+        contour_data,
+    )
+    return survivors, lookups, entries, f"pid:{os.getpid()}"
+
+
+@dataclass
+class _NodeRun:
+    """Driver-side bookkeeping of one in-flight downward prune."""
+
+    started: float
+    input_size: int
+    pending: int  #: shard tasks still outstanding.
+    shards: int  #: shard tasks dispatched.
+    shard_results: list = field(default_factory=list)
+    lookups: int = 0  #: contour-build probes plus worker deltas.
+    entries: int = 0
+
+
+class ParallelExecutor:
+    """Sharded, concurrent driver for the downward prune phase.
+
+    Pinned to one engine *and* one graph version: the process backend's
+    workers fork with the graph and the built reachability index in
+    memory, so a mutated graph requires a fresh executor (the session
+    layer rebuilds its executors on invalidation).  Use as a context
+    manager, or call :meth:`close` to release the pool.
+    """
+
+    def __init__(
+        self,
+        engine,
+        workers: int = 2,
+        *,
+        backend: str = "auto",
+        shards: int | None = None,
+        strategy: str = "hash",
+        min_shard_size: int = 16,
+    ):
+        self.engine = engine
+        self.workers = max(1, int(workers))
+        self.backend = _resolve_backend(backend)
+        self.num_shards = max(1, int(shards) if shards is not None else self.workers)
+        self.min_shard_size = max(1, int(min_shard_size))
+        self._partition = GraphPartition.for_graph(engine.graph, self.num_shards, strategy)
+        self._graph_version = engine.graph.version
+        self._pool: ProcessPoolExecutor | ThreadPoolExecutor | None = None
+
+    @classmethod
+    def from_options(cls, engine, options: ParallelOptions) -> "ParallelExecutor":
+        return cls(
+            engine,
+            options.workers,
+            backend=options.backend,
+            shards=options.shards,
+            strategy=options.strategy,
+            min_shard_size=options.min_shard_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self.backend == "serial":
+            return None
+        if self._pool is None:
+            if self.backend == "thread":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-prune"
+                )
+            else:
+                import multiprocessing
+
+                # Force the index before forking so workers inherit it
+                # built — tasks must never rebuild it per process.
+                reach = self.engine.reachability
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                    initializer=_init_process_worker,
+                    initargs=(self.engine.graph, reach),
+                )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_fresh(self) -> None:
+        if self.engine.graph.version != self._graph_version:
+            raise RuntimeError(
+                "ParallelExecutor is pinned to graph version "
+                f"{self._graph_version}, but the graph is now at version "
+                f"{self.engine.graph.version}; create a fresh executor"
+            )
+
+    # ------------------------------------------------------------------
+    # Single-plan execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: CompiledPlan,
+        group_nodes: tuple[str, ...] = (),
+        candidate_provider=None,
+        stats: EvaluationStats | None = None,
+    ) -> tuple[ResultSet, EvaluationStats]:
+        """Run a compiled plan with a sharded downward phase.
+
+        Plans routed away from GTEA (unsatisfiable, baseline) and group
+        evaluations (which run the original query) delegate to the
+        engine's serial pipeline unchanged.
+        """
+        if stats is None:
+            stats = EvaluationStats()
+        self._check_fresh()
+        if plan.physical.executor != "gtea" or group_nodes:
+            return self.engine.execute(
+                plan,
+                group_nodes=group_nodes,
+                candidate_provider=candidate_provider,
+                stats=stats,
+            )
+        state = ExecutionState(
+            self.engine, plan.query, stats, candidate_provider=candidate_provider
+        )
+        run_pipeline(state, [CandidateScan()])
+        stats.parallel_workers = max(stats.parallel_workers, self.workers)
+        if not state.finished:
+            self._prune_frontier(state)
+        if not state.finished:
+            run_pipeline(state, [UpwardPrune(), BuildMatchingGraph(), CollectResults()])
+        return state.answer, stats
+
+    def _prune_frontier(self, state: ExecutionState) -> None:
+        """Dispatch every eligible downward prune until all nodes refine."""
+        stats, query = state.stats, state.query
+        pool = self._ensure_pool()
+        query_json = query_to_json(query) if self.backend == "process" else None
+        backbone = {n for n in query.nodes if query.nodes[n].is_backbone}
+        remaining = set(query.nodes)
+        in_flight: dict[Future, str] = {}
+        runs: dict[str, _NodeRun] = {}
+        workers = _WorkerLabels()
+        with stats.time_phase("prune_downward"):
+            while (remaining or in_flight) and not state.finished:
+                eligible = sorted(
+                    node_id
+                    for node_id in remaining
+                    if all(child in state.down for child in query.children[node_id])
+                )
+                for node_id in eligible:
+                    remaining.discard(node_id)
+                    self._dispatch_node(state, node_id, pool, query_json, in_flight, runs)
+                    if state.finished:
+                        break
+                if state.finished or not in_flight:
+                    if remaining and not in_flight and not eligible:  # pragma: no cover
+                        raise RuntimeError("downward frontier stalled (query is not a tree?)")
+                    continue
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in sorted(done, key=lambda f: in_flight[f]):
+                    node_id = in_flight.pop(future)
+                    run = runs[node_id]
+                    survivors, lookups, entries, raw_label = future.result()
+                    run.shard_results.append(survivors)
+                    run.lookups += lookups
+                    run.entries += entries
+                    workers.count(stats, raw_label)
+                    run.pending -= 1
+                    if run.pending == 0:
+                        self._finalize_node(state, node_id, run, backbone, note="parallel")
+                        if state.finished:
+                            break
+        if in_flight:  # early exit with outstanding shards: drain the pool
+            for future in in_flight:
+                future.cancel()
+            wait(list(in_flight))
+
+    # ------------------------------------------------------------------
+    # Batch-wide frontier over a shared-plan DAG
+    # ------------------------------------------------------------------
+    def materialize_dag(
+        self,
+        batch: BatchPlan,
+        stats_by_plan: list[EvaluationStats],
+        *,
+        candidate_provider=None,
+        subtree_cache: LRUCache | None = None,
+        candidate_counters: CacheCounters | None = None,
+    ) -> dict[str, tuple[int, ...]]:
+        """Concurrent counterpart of ``SharedExecutor._materialize_dag``.
+
+        The DAG's topological order becomes a batch-wide frontier:
+        subtrees whose child fingerprints are materialized dispatch
+        concurrently, across queries.  Cache probes, candidate fetches
+        and stats attribution mirror the serial path — work is charged
+        to each subtree's exemplar query.
+        """
+        self._check_fresh()
+        down: dict[str, tuple[int, ...]] = {}
+        if not batch.dag.subtrees:
+            return down
+        pending = []
+        for subtree in batch.dag.subtrees:
+            stats = stats_by_plan[subtree.exemplar[0]]
+            if subtree_cache is not None:
+                cached = subtree_cache.get(subtree.fingerprint)
+                if cached is not None:
+                    stats.subtree_cache_hits += 1
+                    down[subtree.fingerprint] = cached
+                    continue
+                stats.subtree_cache_misses += 1
+            pending.append(subtree)
+        if not pending:
+            return down
+        subtree_by_fp = {subtree.fingerprint: subtree for subtree in pending}
+
+        pool = self._ensure_pool()
+        engine = self.engine
+        contexts: dict[int, PruningContext] = {}
+        contours: dict[str, dict | None] = {}  # child fingerprint -> contour data
+        query_jsons: dict[int, str] = {}
+        remaining = {subtree.fingerprint: subtree for subtree in pending}
+        in_flight: dict[Future, str] = {}
+        runs: dict[str, _NodeRun] = {}
+        workers = _WorkerLabels()
+
+        def dispatch(subtree) -> None:
+            position, node_id = subtree.exemplar
+            stats = stats_by_plan[position]
+            stats.parallel_workers = max(stats.parallel_workers, self.workers)
+            plan = batch.plans[position]
+            query = plan.query
+            context = contexts.get(position)
+            if context is None:
+                context = PruningContext(engine.graph, query, engine.reachability)
+                contexts[position] = context
+            started = time.perf_counter()
+            with stats.record_candidate_cache(candidate_counters):
+                with stats.time_phase("candidates"):
+                    if candidate_provider is not None:
+                        candidates = list(candidate_provider(query, node_id))
+                    else:
+                        candidates = candidate_nodes(engine.graph, query, node_id)
+            stats.candidates_initial[node_id] = len(candidates)
+            stats.input_nodes += len(candidates)
+
+            children = query.children[node_id]
+            fingerprints = batch.dag.node_fingerprints[position]
+            refined_children = {
+                child_id: list(down[fingerprints[child_id]]) for child_id in children
+            }
+            if not children or not candidates:
+                # Leaf or empty set: inline.  An empty set refines to the
+                # empty set without a Procedure-6 visit (the visit would
+                # read child contours this driver never installs).
+                before = context.reach.counters.snapshot()
+                if candidates:
+                    survivors = downward_step(context, node_id, candidates, refined_children)
+                else:
+                    survivors = []
+                after = context.reach.counters.snapshot()
+                run = _NodeRun(
+                    started=started,
+                    input_size=len(candidates),
+                    pending=0,
+                    shards=0,
+                    shard_results=[survivors],
+                    lookups=after["lookups"] - before["lookups"],
+                    entries=after["entries_scanned"] - before["entries_scanned"],
+                )
+                finalize(subtree, run)
+                return
+
+            contour_data, contour_lookups, contour_entries = self._dag_contours(
+                context, query, node_id, subtree, contours, down
+            )
+            run = _NodeRun(
+                started=started,
+                input_size=len(candidates),
+                pending=0,
+                shards=0,
+                lookups=contour_lookups,
+                entries=contour_entries,
+            )
+            shard_count = self._shard_count(len(candidates))
+            query_json = None
+            if self.backend == "process":
+                query_json = query_jsons.get(position)
+                if query_json is None:
+                    query_json = query_to_json(query)
+                    query_jsons[position] = query_json
+            for shard in self._partition.split(candidates, shard_count):
+                if not shard:
+                    continue
+                future = self._submit(
+                    pool, query, query_json, node_id, shard, refined_children, contour_data
+                )
+                run.pending += 1
+                run.shards += 1
+                in_flight[future] = subtree.fingerprint
+            stats.parallel_shard_tasks += run.shards
+            runs[subtree.fingerprint] = run
+
+        def finalize(subtree, run: _NodeRun) -> None:
+            position, node_id = subtree.exemplar
+            stats = stats_by_plan[position]
+            survivors = merge_survivors(run.shard_results)
+            down[subtree.fingerprint] = tuple(survivors)
+            if subtree_cache is not None:
+                subtree_cache.put(subtree.fingerprint, down[subtree.fingerprint])
+            elapsed = time.perf_counter() - run.started
+            stats.phase_seconds["prune_downward"] = (
+                stats.phase_seconds.get("prune_downward", 0.0) + elapsed
+            )
+            stats.downward_prune_ops += 1
+            stats.index_lookups += run.lookups
+            stats.index_entries += run.entries
+            stats.operator_stats.append(
+                OperatorStats(
+                    op="DownwardPrune",
+                    target=node_id,
+                    input_size=run.input_size,
+                    output_size=len(survivors),
+                    seconds=elapsed,
+                    index_lookups=run.lookups,
+                    index_entries=run.entries,
+                    note="shared-parallel"
+                    + (f" x{run.shards}" if run.shards else " inline"),
+                )
+            )
+
+        while remaining or in_flight:
+            eligible = [
+                subtree
+                for fingerprint, subtree in sorted(remaining.items())
+                if all(child in down for child in subtree.children)
+            ]
+            for subtree in eligible:
+                del remaining[subtree.fingerprint]
+                dispatch(subtree)
+            if not in_flight:
+                if remaining and not eligible:  # pragma: no cover
+                    raise RuntimeError("shared-plan DAG frontier stalled")
+                continue
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in sorted(done, key=lambda f: in_flight[f]):
+                fingerprint = in_flight.pop(future)
+                subtree = subtree_by_fp[fingerprint]
+                run = runs[fingerprint]
+                survivors, lookups, entries, raw_label = future.result()
+                run.shard_results.append(survivors)
+                run.lookups += lookups
+                run.entries += entries
+                workers.count(stats_by_plan[subtree.exemplar[0]], raw_label)
+                run.pending -= 1
+                if run.pending == 0:
+                    finalize(subtree, run)
+        return down
+
+    # ------------------------------------------------------------------
+    # Dispatch helpers
+    # ------------------------------------------------------------------
+    def _shard_count(self, num_candidates: int) -> int:
+        by_size = -(-num_candidates // self.min_shard_size)  # ceil
+        return max(1, min(self.num_shards, by_size))
+
+    def _dispatch_node(self, state, node_id, pool, query_json, in_flight, runs) -> None:
+        stats, query = state.stats, state.query
+        candidates = state.mats[node_id]
+        children = query.children[node_id]
+        started = time.perf_counter()
+        context = state.context
+        if not children or not candidates:
+            # Leaf (constant-fext) or empty set: inline, like the serial
+            # op.  An empty set refines to the empty set without a
+            # Procedure-6 visit (the visit would read child contours this
+            # driver never installs).
+            before = context.reach.counters.snapshot()
+            if candidates:
+                refined_children = {child: state.down[child] for child in children}
+                survivors = downward_step(context, node_id, list(candidates), refined_children)
+            else:
+                survivors = []
+            after = context.reach.counters.snapshot()
+            run = _NodeRun(
+                started=started,
+                input_size=len(candidates),
+                pending=0,
+                shards=0,
+                shard_results=[survivors],
+                lookups=after["lookups"] - before["lookups"],
+                entries=after["entries_scanned"] - before["entries_scanned"],
+            )
+            backbone = {n for n in query.nodes if query.nodes[n].is_backbone}
+            self._finalize_node(state, node_id, run, backbone, note="parallel inline")
+            return
+
+        before = context.reach.counters.snapshot()
+        contour_data = None
+        if context.index is not None:
+            data = {}
+            for child_id in children:
+                if query.edge_type(child_id) is EdgeType.DESCENDANT:
+                    contour = build_pred_contour(context, state.down[child_id])
+                    data[child_id] = contour.data
+            contour_data = data or None
+        after = context.reach.counters.snapshot()
+        refined_children = {child: state.down[child] for child in children}
+        run = _NodeRun(
+            started=started,
+            input_size=len(candidates),
+            pending=0,
+            shards=0,
+            lookups=after["lookups"] - before["lookups"],
+            entries=after["entries_scanned"] - before["entries_scanned"],
+        )
+        for shard in self._partition.split(candidates, self._shard_count(len(candidates))):
+            if not shard:
+                continue
+            future = self._submit(
+                pool, query, query_json, node_id, shard, refined_children, contour_data
+            )
+            run.pending += 1
+            run.shards += 1
+            in_flight[future] = node_id
+        stats.parallel_shard_tasks += run.shards
+        runs[node_id] = run
+
+    def _submit(
+        self, pool, query, query_json, node_id, shard, refined_children, contour_data
+    ) -> Future:
+        if self.backend == "process":
+            return pool.submit(
+                _process_shard_task, query_json, node_id, shard, refined_children, contour_data
+            )
+        if self.backend == "thread":
+            graph, reach = self.engine.graph, self.engine.reachability
+            return pool.submit(
+                lambda: (
+                    *_run_shard(
+                        graph, reach, query, node_id, shard, refined_children, contour_data
+                    ),
+                    threading.current_thread().name,
+                )
+            )
+        future: Future = Future()
+        future.set_result(
+            (
+                *_run_shard(
+                    self.engine.graph,
+                    self.engine.reachability,
+                    query,
+                    node_id,
+                    shard,
+                    refined_children,
+                    contour_data,
+                ),
+                "serial",
+            )
+        )
+        return future
+
+    def _finalize_node(self, state, node_id, run: _NodeRun, backbone, note: str) -> None:
+        stats = state.stats
+        survivors = merge_survivors(run.shard_results)
+        state.down[node_id] = survivors
+        stats.candidates_after_downward[node_id] = len(survivors)
+        stats.downward_prune_ops += 1
+        stats.index_lookups += run.lookups
+        stats.index_entries += run.entries
+        record = OperatorStats(
+            op="DownwardPrune",
+            target=node_id,
+            input_size=run.input_size,
+            output_size=len(survivors),
+            seconds=time.perf_counter() - run.started,
+            index_lookups=run.lookups,
+            index_entries=run.entries,
+            note=note + (f" x{run.shards}" if run.shards else ""),
+        )
+        stats.operator_stats.append(record)
+        if node_id in backbone and not survivors:
+            # Every match embeds every backbone node (same argument as
+            # the adaptive early exit): the answer is already empty.
+            record.note += " early-exit"
+            state.finish_empty()
+
+    def _dag_contours(self, context, query, node_id, subtree, contours, down):
+        """AD-child contour data for one DAG dispatch, cached per child
+        fingerprint (a contour depends only on the child's survivor set,
+        which the fingerprint identifies across the whole batch)."""
+        if context.index is None:
+            return None, 0, 0
+        before = context.reach.counters.snapshot()
+        fingerprints = dict(zip(query.children[node_id], subtree.children))
+        data = {}
+        for child_id in query.children[node_id]:
+            if query.edge_type(child_id) is not EdgeType.DESCENDANT:
+                continue
+            child_fp = fingerprints[child_id]
+            cached = contours.get(child_fp)
+            if cached is None:
+                cached = build_pred_contour(context, list(down[child_fp])).data
+                contours[child_fp] = cached
+            data[child_id] = cached
+        after = context.reach.counters.snapshot()
+        return (
+            data or None,
+            after["lookups"] - before["lookups"],
+            after["entries_scanned"] - before["entries_scanned"],
+        )
+
+
+class _WorkerLabels:
+    """Normalizes raw worker labels to ``w0``, ``w1``, ... per execution."""
+
+    def __init__(self):
+        self._labels: dict[str, str] = {}
+
+    def count(self, stats: EvaluationStats, raw_label: str) -> None:
+        label = self._labels.get(raw_label)
+        if label is None:
+            label = f"w{len(self._labels)}"
+            self._labels[raw_label] = label
+        stats.parallel_worker_tasks[label] = stats.parallel_worker_tasks.get(label, 0) + 1

@@ -75,6 +75,7 @@ from ..reachability.base import GraphReachability
 from ..reachability.factory import build_reachability, resolve_index
 from .cache import LRUCache
 from .gtea import GTEA
+from .parallel import ParallelExecutor, ParallelOptions
 from .results import ResultSet
 from .shared import SharedExecutor
 from .stats import EvaluationStats
@@ -153,6 +154,15 @@ class QuerySession:
             post-prune candidate-set sizes mid-flight (see
             :mod:`repro.engine.operators`).  Answers are identical to
             the static order.
+        parallel: shard the downward prune phase across a worker pool
+            (see :mod:`repro.engine.parallel`).  Accepts a worker count
+            or a :class:`~repro.engine.parallel.ParallelOptions`;
+            ``None`` (default) keeps execution serial.  Applies to
+            GTEA-routed, non-group evaluations and to the shared batch
+            path of :meth:`evaluate_many`; answers, survivor sets and
+            prune-op counts are identical to serial execution.  Call
+            :meth:`close` (or use the session as a context manager) to
+            release the worker pools.
 
     Every execution's observed per-operator stats feed the session-held
     :attr:`cost_profile` (:class:`~repro.plan.feedback.CostProfile`),
@@ -171,10 +181,15 @@ class QuerySession:
         result_cache_size: int = 1024,
         subtree_cache_size: int = 4096,
         adaptive: bool = False,
+        parallel: int | ParallelOptions | None = None,
     ):
         self.graph = graph
         self.default_index = index
         self.adaptive = adaptive
+        if parallel is None or isinstance(parallel, ParallelOptions):
+            self.parallel_options = parallel
+        else:
+            self.parallel_options = ParallelOptions(workers=int(parallel))
         self.plan_cache = LRUCache(plan_cache_size)
         self.candidate_cache = LRUCache(candidate_cache_size)
         self.result_cache = LRUCache(result_cache_size)
@@ -186,6 +201,7 @@ class QuerySession:
         self._observed_ops = LRUCache(plan_cache_size)
         self._reach_pool: dict[str, GraphReachability] = {}
         self._engines: dict[str, GTEA] = {}
+        self._parallel_pool: dict[str, ParallelExecutor] = {}
         self._resolved_auto: str | None = None
         self._graph_stats: GraphStats | None = None
         self._graph_version = graph.version
@@ -235,6 +251,21 @@ class QuerySession:
             self._engines[name] = engine
         return engine
 
+    def parallel_executor(self, index: str | None = None) -> ParallelExecutor | None:
+        """The pooled sharded executor for ``index``, or None when the
+        session was created without ``parallel=``."""
+        if self.parallel_options is None:
+            return None
+        self._ensure_fresh()
+        name = self._resolve(index or self.default_index)
+        executor = self._parallel_pool.get(name)
+        if executor is None:
+            executor = ParallelExecutor.from_options(
+                self.engine(name), self.parallel_options
+            )
+            self._parallel_pool[name] = executor
+        return executor
+
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
@@ -254,9 +285,30 @@ class QuerySession:
         self._observed_ops.clear()
         self._reach_pool.clear()
         self._engines.clear()
+        # Parallel executors are pinned to the graph version their
+        # process workers forked with; a fresh pool is rebuilt lazily.
+        for executor in self._parallel_pool.values():
+            executor.close()
+        self._parallel_pool.clear()
         self._resolved_auto = None
         self._graph_stats = None
         self._graph_version = self.graph.version
+
+    def close(self) -> None:
+        """Release the worker pools of ``parallel=`` execution.
+
+        Idempotent; the session remains usable (pools rebuild lazily).
+        Serial sessions have nothing to release.
+        """
+        for executor in self._parallel_pool.values():
+            executor.close()
+        self._parallel_pool.clear()
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _ensure_fresh(self) -> None:
         if self.graph.version != self._graph_version:
@@ -409,22 +461,38 @@ class QuerySession:
     ) -> tuple[ResultSet, EvaluationStats]:
         """Run one cold plan through its engine (no result-cache probe)."""
         stats = EvaluationStats()
-        engine = self.engine(plan.compiled.physical.index_name)
+        index_name = plan.compiled.physical.index_name
+        engine = self.engine(index_name)
+        parallel = None
+        if not group_nodes and plan.compiled.physical.executor == "gtea":
+            parallel = self.parallel_executor(index_name)
         with stats.record_candidate_cache(self.candidate_cache.counters):
-            results, stats = engine.execute(
-                plan.compiled,
-                group_nodes=group_nodes,
-                candidate_provider=self._candidate_provider(plan),
-                stats=stats,
-            )
+            if parallel is not None:
+                results, stats = parallel.execute(
+                    plan.compiled,
+                    candidate_provider=self._candidate_provider(plan),
+                    stats=stats,
+                )
+            else:
+                results, stats = engine.execute(
+                    plan.compiled,
+                    group_nodes=group_nodes,
+                    candidate_provider=self._candidate_provider(plan),
+                    stats=stats,
+                )
         stats.result_cache_misses = 1
         self.result_cache.put((plan.fingerprint, group_nodes), frozenset(results))
         if not group_nodes:
             # Group evaluation runs the GTEA pipeline over the *original*
             # query regardless of the routed executor; recording it would
             # file GTEA operator stats under the baseline's calibration
-            # arm (and against the rewritten query's estimates).
-            self._record_feedback(plan, stats)
+            # arm (and against the rewritten query's estimates).  Sharded
+            # executions file under "gtea-parallel": their wall times
+            # reflect pool scheduling, not the serial cost model the
+            # calibration arms compare.
+            self._record_feedback(
+                plan, stats, executor="gtea-parallel" if parallel is not None else None
+            )
         return results, stats
 
     def _record_feedback(
@@ -596,6 +664,7 @@ class QuerySession:
                 candidate_provider=self._shared_candidate_provider(),
                 subtree_cache=self.subtree_cache,
                 candidate_counters=self.candidate_cache.counters,
+                parallel=self.parallel_executor(index_name),
             )
             for position, outcome in zip(positions, executor.execute(batch)):
                 results, stats = outcome

@@ -53,6 +53,11 @@ class SharedExecutor:
         candidate_counters: counters of the cache backing
             ``candidate_provider``; when given, per-fetch deltas are
             attributed to the consuming query's stats.
+        parallel: optional :class:`~repro.engine.parallel.ParallelExecutor`;
+            when given, the DAG materializes through its batch-wide
+            concurrent frontier (:meth:`~repro.engine.parallel.
+            ParallelExecutor.materialize_dag`) instead of the serial
+            topological sweep — same sets, same attribution.
     """
 
     def __init__(
@@ -62,11 +67,13 @@ class SharedExecutor:
         candidate_provider: CandidateProvider | None = None,
         subtree_cache: LRUCache | None = None,
         candidate_counters: CacheCounters | None = None,
+        parallel=None,
     ):
         self.engine = engine
         self.candidate_provider = candidate_provider
         self.subtree_cache = subtree_cache
         self.candidate_counters = candidate_counters
+        self.parallel = parallel
 
     # ------------------------------------------------------------------
     def execute(
@@ -74,7 +81,16 @@ class SharedExecutor:
     ) -> list[tuple[ResultSet, EvaluationStats]]:
         """Run every plan of ``batch``; one (answer, stats) per plan."""
         stats_by_plan = [EvaluationStats() for _ in batch.plans]
-        down = self._materialize_dag(batch, stats_by_plan)
+        if self.parallel is not None:
+            down = self.parallel.materialize_dag(
+                batch,
+                stats_by_plan,
+                candidate_provider=self.candidate_provider,
+                subtree_cache=self.subtree_cache,
+                candidate_counters=self.candidate_counters,
+            )
+        else:
+            down = self._materialize_dag(batch, stats_by_plan)
 
         exemplar_of = {
             subtree.fingerprint: subtree.exemplar for subtree in batch.dag.subtrees

@@ -68,6 +68,19 @@ class EvaluationStats:
     #: :meth:`QuerySession.evaluate_many` (``share="auto"`` fell back to
     #: the isolated per-query path because nothing worthwhile is shared).
     batch_share_skipped: int = 0
+    # ------------------------------------------------------------------
+    # Sharded-execution counters (repro.engine.parallel).  All zero when
+    # the prune phase ran serially.
+    # ------------------------------------------------------------------
+    #: configured worker count of the parallel executor that ran
+    #: (aggregation keeps the maximum, not the sum).
+    parallel_workers: int = 0
+    #: downward-prune shard tasks dispatched to the worker pool (inline
+    #: leaf/empty refinements in the driver are not counted).
+    parallel_shard_tasks: int = 0
+    #: shard tasks completed per worker, keyed by a per-execution label
+    #: (``"w0"``, ``"w1"``, ... in order of first completion).
+    parallel_worker_tasks: dict[str, int] = field(default_factory=dict)
 
     @property
     def intermediate_cost(self) -> int:
@@ -142,6 +155,12 @@ class EvaluationStats:
         self.batch_unique_queries += other.batch_unique_queries
         self.batch_shared_subtrees += other.batch_shared_subtrees
         self.batch_share_skipped += other.batch_share_skipped
+        self.parallel_workers = max(self.parallel_workers, other.parallel_workers)
+        self.parallel_shard_tasks += other.parallel_shard_tasks
+        for worker, tasks in other.parallel_worker_tasks.items():
+            self.parallel_worker_tasks[worker] = (
+                self.parallel_worker_tasks.get(worker, 0) + tasks
+            )
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
@@ -168,6 +187,9 @@ class EvaluationStats:
             row["prune_ops"] = self.downward_prune_ops
         if self.batch_shared_subtrees:
             row["shared_subtrees"] = self.batch_shared_subtrees
+        if self.parallel_shard_tasks:
+            row["workers"] = self.parallel_workers
+            row["shard_tasks"] = self.parallel_shard_tasks
         return row
 
 

@@ -2,6 +2,7 @@
 
 from .condensation import Condensation, condense
 from .digraph import DataGraph
+from .partition import GraphPartition, merge_survivors
 from .stats import GraphStats, graph_stats
 from .traversal import (
     ancestors,
@@ -16,6 +17,7 @@ from .traversal import (
 __all__ = [
     "Condensation",
     "DataGraph",
+    "GraphPartition",
     "GraphStats",
     "ancestors",
     "bfs_layers",
@@ -23,6 +25,7 @@ __all__ = [
     "descendants",
     "graph_stats",
     "is_dag",
+    "merge_survivors",
     "node_depths",
     "reaches",
     "topological_order",

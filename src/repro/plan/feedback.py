@@ -28,10 +28,13 @@ questions on subsequent compilations:
   seeded from prior measurement runs.
 
 Executions are filed under the executor that actually ran: the isolated
-GTEA pipeline ("gtea"), the baseline delegate ("twigstackd"), or the
+GTEA pipeline ("gtea"), the baseline delegate ("twigstackd"), the
 shared-batch path ("gtea-shared" — excluded from calibration, since a
 warm subtree cache leaves those executions with suffix-only operator
-records whose seconds have no matching candidate volume).
+records whose seconds have no matching candidate volume), or the
+sharded pool driver ("gtea-parallel" — also excluded: its wall times
+include pool scheduling and, per shard, repeated chain scans, neither
+of which the serial cost model prices).
 
 :class:`repro.engine.session.QuerySession` owns one profile, records
 into it after every execution, and passes it to every compilation

@@ -1,0 +1,75 @@
+"""Tier-1 coverage of the parallel-scaling harness and CLI path.
+
+The heavyweight sweep lives in ``benchmarks/bench_parallel.py`` (bench
+marker); these tests run the same machinery at a tiny scale so the
+harness, the funnel workload generator, and the ``repro-bench
+parallel`` subcommand stay covered by the default suite.  The
+``"serial"`` backend keeps the runs deterministic and in-process.
+"""
+
+from repro.bench import measure_parallel
+from repro.bench.cli import main as bench_main
+from repro.datasets import parallel_workload
+from repro.query import query_fingerprint
+
+
+class TestMeasureParallel:
+    def test_small_funnel_workload_is_byte_identical(self):
+        graph, queries = parallel_workload(scale=1, queries=2)
+        measurement = measure_parallel(
+            graph, queries, worker_counts=(1, 2), backend="serial"
+        )
+        assert measurement.mismatches == 0
+        assert measurement.survivor_mismatches == 0
+        assert measurement.queries == len(queries)
+        assert measurement.backend == "serial"
+        assert measurement.speedup(1) == 1.0
+        rows = measurement.rows()
+        assert [row["workers"] for row in rows] == [1, 2]
+        # Two shards per node-with-enough-candidates: the sharded point
+        # must dispatch strictly more pool tasks than the baseline.
+        assert rows[1]["shard_tasks"] > rows[0]["shard_tasks"]
+
+    def test_funnel_workload_is_deterministic(self):
+        _, first = parallel_workload(scale=1, queries=3, seed=9)
+        _, second = parallel_workload(scale=1, queries=3, seed=9)
+        assert [query_fingerprint(q) for q in first] == [
+            query_fingerprint(q) for q in second
+        ]
+
+
+class TestParallelCli:
+    def test_parallel_subcommand_runs(self, capsys):
+        code = bench_main(
+            [
+                "parallel",
+                "--workload-scale",
+                "1",
+                "--queries",
+                "2",
+                "--workers",
+                "1",
+                "2",
+                "--backend",
+                "serial",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sharded prune execution" in out
+        assert "prune-phase speedup at 2 workers" in out
+
+    def test_parallel_subcommand_rejects_bad_scale(self, capsys):
+        code = bench_main(["parallel", "--workload-scale", "0"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parallel_subcommand_requires_the_baseline_worker_count(self, capsys):
+        code = bench_main(["parallel", "--workers", "2", "4"])
+        assert code == 2
+        assert "include 1" in capsys.readouterr().err
+
+    def test_parallel_subcommand_rejects_unknown_backend(self, capsys):
+        code = bench_main(["parallel", "--workers", "1", "--backend", "fiber"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,107 @@
+"""Unit tests for candidate partitioning (``repro.graph.partition``)."""
+
+import random
+
+import pytest
+
+from repro.graph import DataGraph
+from repro.graph.partition import STRATEGIES, GraphPartition, merge_survivors
+
+
+class TestConstruction:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            GraphPartition(0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            GraphPartition(2, strategy="modulo")
+
+    def test_range_needs_num_nodes(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            GraphPartition(2, strategy="range")
+        with pytest.raises(ValueError, match="num_nodes"):
+            GraphPartition(2, strategy="range", num_nodes=0)
+
+    def test_for_graph_handles_empty_graph(self):
+        # An empty graph still yields a usable partition (range spans
+        # need num_nodes >= 1).
+        partition = GraphPartition.for_graph(DataGraph(), 4, strategy="range")
+        assert partition.num_nodes == 1
+        assert partition.split([]) == [[], [], [], []]
+
+
+class TestHashRouting:
+    def test_shard_of_is_modulo(self):
+        partition = GraphPartition(3)
+        assert [partition.shard_of(n) for n in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_split_preserves_order_within_shards(self):
+        partition = GraphPartition(2)
+        assert partition.split([5, 2, 8, 1, 4]) == [[2, 8, 4], [5, 1]]
+
+    def test_split_returns_exactly_k_lists_with_empties(self):
+        # Candidates all route to shard 0 — the other shards stay empty
+        # but are still returned (callers skip them explicitly).
+        partition = GraphPartition(4)
+        assert partition.split([0, 4, 8]) == [[0, 4, 8], [], [], []]
+
+    def test_split_override_shard_count(self):
+        partition = GraphPartition(4)
+        assert partition.split([0, 1, 2, 3], num_shards=2) == [[0, 2], [1, 3]]
+        with pytest.raises(ValueError, match="num_shards"):
+            partition.split([0], num_shards=0)
+
+    def test_single_shard_takes_everything(self):
+        partition = GraphPartition(1)
+        assert partition.split([3, 1, 2]) == [[3, 1, 2]]
+
+
+class TestRangeRouting:
+    def test_contiguous_blocks(self):
+        partition = GraphPartition(2, strategy="range", num_nodes=10)
+        # span = ceil(10 / 2) = 5
+        assert [partition.shard_of(n) for n in range(10)] == [0] * 5 + [1] * 5
+
+    def test_last_shard_absorbs_overflow_ids(self):
+        # Ids at or past num_nodes (possible after for_graph on a graph
+        # that grew) clamp to the last shard instead of indexing out.
+        partition = GraphPartition(3, strategy="range", num_nodes=7)
+        assert partition.shard_of(6) == 2
+        assert partition.shard_of(99) == 2
+
+    def test_single_node_graph_routes_everything_to_shard_zero(self):
+        graph = DataGraph()
+        graph.add_node(label="a")
+        partition = GraphPartition.for_graph(graph, 4, strategy="range")
+        assert partition.split([0]) == [[0], [], [], []]
+
+
+class TestMergeSurvivors:
+    def test_sorted_by_node_id(self):
+        assert merge_survivors([[7, 9], [2, 4], [5]]) == [2, 4, 5, 7, 9]
+
+    def test_empty_shards_contribute_nothing(self):
+        assert merge_survivors([[], [3], []]) == [3]
+        assert merge_survivors([]) == []
+        assert merge_survivors([[], [], []]) == []
+
+    def test_order_of_shard_completion_is_irrelevant(self):
+        shards = [[1, 4], [2, 5], [0, 3]]
+        for _ in range(5):
+            random.Random(11).shuffle(shards)
+            assert merge_survivors(shards) == [0, 1, 2, 3, 4, 5]
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 7])
+    def test_split_then_merge_roundtrips(self, strategy, num_shards):
+        # The determinism contract: for any routing, splitting an
+        # ascending candidate set and merging the (sub-)results yields
+        # the original set back, independent of shard count.
+        rng = random.Random(23)
+        candidates = sorted(rng.sample(range(200), 40))
+        partition = GraphPartition(num_shards, strategy=strategy, num_nodes=200)
+        shards = partition.split(candidates)
+        assert len(shards) == num_shards
+        assert sum(len(shard) for shard in shards) == len(candidates)
+        assert merge_survivors(shards) == candidates

@@ -1,0 +1,106 @@
+"""Randomized differential testing of sharded, concurrent execution.
+
+Seeded random (graph, workload) cases cross-check the sharded executor
+of :mod:`repro.engine.parallel` three ways:
+
+* **semantics** — sharded answers must equal ``evaluate_naive`` (the
+  Section-2 oracle) and the serial engine exactly;
+* **determinism** — a sharded run (several workers, several shards)
+  must be *byte-identical* to a single-shard run: same answers, same
+  per-node survivor sets, same prune-op counts.  This is the contract
+  ``repro.graph.partition.merge_survivors`` (sorted merge) exists for;
+* **batch frontier** — ``evaluate_many`` through the parallel DAG
+  frontier must match the serial shared path query by query.
+
+The default sweep uses the ``"serial"`` backend — the same dispatch,
+sharding and merge machinery with inline futures — because it is
+deterministic under pytest and visible to coverage; the ``slow`` sweep
+re-runs a slice on a real thread pool.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets import random_labeled_graph, random_query_batch
+from repro.engine import QuerySession
+from repro.engine.parallel import ParallelOptions
+from repro.query import evaluate_naive
+
+#: (first seed, number of seeds) chunks covering the default cases.
+DEFAULT_CHUNKS = [(start, 20) for start in range(400, 480, 20)]
+
+
+def parallel_session(graph, workers, shards, backend="serial"):
+    options = ParallelOptions(workers=workers, backend=backend, shards=shards, min_shard_size=1)
+    return QuerySession(graph, result_cache_size=0, parallel=options)
+
+
+def run_parallel_differential_cases(seeds, *, backend="serial") -> dict:
+    """One (graph, batch) case per seed; returns coverage counters."""
+    coverage = {"cases": 0, "queries": 0, "nonempty": 0, "sharded_tasks": 0}
+    for seed in seeds:
+        rng = random.Random(seed)
+        graph = random_labeled_graph(rng.randint(8, 16), rng)
+        batch = random_query_batch(graph, rng, batch_size=rng.randint(3, 6), overlap=0.6)
+        serial = QuerySession(graph, result_cache_size=0)
+        single = parallel_session(graph, workers=1, shards=1, backend=backend)
+        sharded = parallel_session(graph, workers=3, shards=3, backend=backend)
+
+        # Per-query path: naive oracle + serial session + byte identity.
+        for position, query in enumerate(batch):
+            expected = evaluate_naive(query, graph)
+            assert serial.evaluate(query) == expected, (
+                f"seed {seed} query {position}: serial session disagrees with evaluate_naive"
+            )
+            single_answer, single_stats = single.evaluate_with_stats(query)
+            sharded_answer, sharded_stats = sharded.evaluate_with_stats(query)
+            assert sharded_answer == expected, (
+                f"seed {seed} query {position}: sharded execution disagrees with evaluate_naive"
+            )
+            assert single_answer == expected
+            assert (
+                sharded_stats.candidates_after_downward == single_stats.candidates_after_downward
+            ), (
+                f"seed {seed} query {position}: sharded survivor sets are "
+                f"not byte-identical to the single-shard run"
+            )
+            assert sharded_stats.downward_prune_ops == single_stats.downward_prune_ops
+            coverage["queries"] += 1
+            coverage["nonempty"] += bool(expected)
+            coverage["sharded_tasks"] += sharded_stats.parallel_shard_tasks
+
+        # Batch path: the DAG frontier vs the serial shared executor.
+        serial_batch = serial.evaluate_many(batch)
+        single_batch = single.evaluate_many(batch)
+        sharded_batch = sharded.evaluate_many(batch)
+        assert sharded_batch.results == serial_batch.results, (
+            f"seed {seed}: parallel batch frontier disagrees with the serial shared path"
+        )
+        assert sharded_batch.results == single_batch.results
+        pairs = zip(sharded_batch.per_query, single_batch.per_query)
+        for position, (got, want) in enumerate(pairs):
+            assert got.candidates_after_downward == want.candidates_after_downward, (
+                f"seed {seed} query {position}: sharded batch survivor sets "
+                f"are not byte-identical to the single-shard batch run"
+            )
+        coverage["cases"] += 1
+    return coverage
+
+
+@pytest.mark.parametrize("start,count", DEFAULT_CHUNKS)
+def test_parallel_differential_agreement(start, count):
+    coverage = run_parallel_differential_cases(range(start, start + count))
+    assert coverage["cases"] == count
+    # The sweep must exercise the interesting regimes: nonempty answers
+    # and genuinely sharded dispatch (multi-task prunes).
+    assert coverage["nonempty"] > 0
+    assert coverage["sharded_tasks"] > coverage["queries"]
+
+
+@pytest.mark.slow
+def test_parallel_differential_agreement_thread_pool():
+    """A slice of the sweep on a real thread pool."""
+    coverage = run_parallel_differential_cases(range(400, 420), backend="thread")
+    assert coverage["cases"] == 20
+    assert coverage["nonempty"] > 0
