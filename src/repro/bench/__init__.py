@@ -3,6 +3,8 @@
 from .harness import (
     AdaptiveMeasurement,
     AlgorithmSuite,
+    CodegenMeasurement,
+    CodegenQueryPoint,
     Measurement,
     ParallelMeasurement,
     ParallelScalePoint,
@@ -10,6 +12,7 @@ from .harness import (
     format_table,
     mean,
     measure_adaptive,
+    measure_codegen,
     measure_parallel,
     measure_warm_cold,
 )
@@ -17,6 +20,8 @@ from .harness import (
 __all__ = [
     "AdaptiveMeasurement",
     "AlgorithmSuite",
+    "CodegenMeasurement",
+    "CodegenQueryPoint",
     "Measurement",
     "ParallelMeasurement",
     "ParallelScalePoint",
@@ -24,6 +29,7 @@ __all__ = [
     "format_table",
     "mean",
     "measure_adaptive",
+    "measure_codegen",
     "measure_parallel",
     "measure_warm_cold",
 ]

@@ -13,6 +13,9 @@ Subcommands:
 * ``adaptive`` — the adaptive operator pipeline (runtime prune
   reordering + backbone-empty early exit) vs the static plan order on
   the skewed workload whose label statistics mislead the estimates;
+* ``codegen`` — specialized plan functions (``repro.plan.codegen``)
+  vs the interpreted operator pipeline, warm, on the Fig. 7 queries,
+  with exact-answer checks and an optional speedup floor;
 * ``parallel`` — sharded, concurrent downward-prune execution
   (``repro.engine.parallel``) swept over worker counts on the funnel
   workload, with exact-answer and byte-identical-survivor checks
@@ -43,6 +46,7 @@ from ..reachability import select_auto_index
 from .harness import (
     format_table,
     measure_adaptive,
+    measure_codegen,
     measure_parallel,
     measure_warm_cold,
 )
@@ -210,6 +214,48 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    if args.rounds < 1:
+        print("repro-bench: error: --rounds must be >= 1", file=sys.stderr)
+        return 2
+    graph = generate_xmark(scale=args.scale, seed=args.seed).graph
+    queries = [
+        (variant, fig7_query(variant, person_group=2, item_group=4, seller_group=6))
+        for variant in ("q1", "q2", "q3")
+    ]
+    measurement = measure_codegen(graph, queries, rounds=args.rounds, mode=args.mode)
+    if measurement.mismatches:
+        print(
+            "repro-bench: error: codegen and interpreted execution disagree "
+            "(this is a bug — please report the seed)",
+            file=sys.stderr,
+        )
+        return 1
+    if measurement.uncompiled:
+        print(
+            f"repro-bench: error: {measurement.uncompiled} quer(ies) fell back "
+            "to the interpreted pipeline on the planner workload",
+            file=sys.stderr,
+        )
+        return 1
+    rows = measurement.rows()
+    print(format_table(
+        f"Plan codegen vs interpreted pipeline (warm, Fig. 7 queries, "
+        f"n={graph.num_nodes}, mode={measurement.mode})",
+        list(rows[0]),
+        [list(row.values()) for row in rows],
+    ))
+    print(f"aggregate warm speedup: {measurement.speedup:.2f}x")
+    if args.enforce_floor and measurement.speedup < args.floor:
+        print(
+            f"repro-bench: error: aggregate speedup {measurement.speedup:.2f}x "
+            f"is below the floor ({args.floor:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_parallel(args: argparse.Namespace) -> int:
     if args.workload_scale < 1 or args.queries < 1:
         print(
@@ -327,6 +373,20 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive.add_argument("--repeats", type=int, default=8,
                           help="copies of each skewed query shape (default 8)")
     adaptive.set_defaults(func=_cmd_adaptive)
+
+    codegen = subparsers.add_parser(
+        "codegen", help="specialized plan functions vs the interpreted pipeline"
+    )
+    codegen.add_argument("--rounds", type=int, default=7,
+                         help="timed warm evaluations per query (default 7)")
+    codegen.add_argument("--mode", default="auto", choices=["auto", "closure"],
+                         help="codegen backend mode (default: auto = source)")
+    codegen.add_argument("--enforce-floor", action="store_true",
+                         help="fail unless the aggregate warm speedup reaches "
+                              "--floor")
+    codegen.add_argument("--floor", type=float, default=1.5,
+                         help="speedup floor for --enforce-floor (default 1.5)")
+    codegen.set_defaults(func=_cmd_codegen)
 
     parallel = subparsers.add_parser(
         "parallel", help="sharded concurrent prune execution vs single-shard"

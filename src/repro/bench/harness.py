@@ -456,3 +456,120 @@ def measure_parallel(
         mismatches=mismatches,
         survivor_mismatches=survivor_mismatches,
     )
+
+
+@dataclass
+class CodegenQueryPoint:
+    """One query's interpreted-vs-codegen warm comparison."""
+
+    name: str
+    interpreted_ms: float
+    codegen_ms: float
+    results: int
+
+    @property
+    def speedup(self) -> float:
+        return self.interpreted_ms / self.codegen_ms if self.codegen_ms else 0.0
+
+
+@dataclass
+class CodegenMeasurement:
+    """Interpreted-pipeline vs specialized-function comparison.
+
+    Warm, engine-level: plans are compiled once and specialized once
+    outside both measured regions, then the same plans run through
+    ``GTEA.execute`` with and without their compiled function.  Answers
+    are compared exactly per round; ``mismatches`` must be zero, and
+    ``uncompiled`` counts plans the backend could not specialize
+    (expected zero on the planner workload).
+    """
+
+    points: list[CodegenQueryPoint]
+    mode: str
+    mismatches: int
+    uncompiled: int
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate warm speedup: total interpreted time / total codegen."""
+        codegen_ms = sum(p.codegen_ms for p in self.points)
+        if not codegen_ms:
+            return 0.0
+        return sum(p.interpreted_ms for p in self.points) / codegen_ms
+
+    def rows(self) -> list[dict[str, float]]:
+        return [
+            {
+                "query": point.name,
+                "interpreted_ms": round(point.interpreted_ms, 3),
+                "codegen_ms": round(point.codegen_ms, 3),
+                "speedup": round(point.speedup, 2),
+                "results": point.results,
+            }
+            for point in self.points
+        ]
+
+
+def _trimmed_mean_ms(samples: list[float]) -> float:
+    """Mean in ms after dropping the min and max sample (noise guard)."""
+    ordered = sorted(samples)
+    if len(ordered) > 3:
+        ordered = ordered[1:-1]
+    return 1e3 * sum(ordered) / len(ordered)
+
+
+def measure_codegen(
+    graph: DataGraph,
+    queries: list[tuple[str, GTPQ]],
+    rounds: int = 7,
+    mode: str = "auto",
+) -> CodegenMeasurement:
+    """Compare warm plan execution with and without plan codegen.
+
+    Plans are compiled once and specialized once outside both measured
+    regions (the paper's timing discipline: per-query work only), with
+    one unmeasured warmup execution per arm, then ``rounds`` timed
+    executions each; per-query times are min/max trimmed means.  This is
+    exactly what a warm ``QuerySession(codegen=...)`` executes per
+    evaluation once its caches hold the plan and the function.
+    """
+    from ..plan.codegen import CodegenError, compile_plan
+
+    engine = GTEA(graph, index="3hop")
+    engine.reachability  # build outside the measured regions
+    compile_mode = "closure" if mode == "closure" else "source"
+
+    mismatches = uncompiled = 0
+    points: list[CodegenQueryPoint] = []
+    for name, query in queries:
+        plan = engine.compile(query)
+        try:
+            fn = compile_plan(plan, mode=compile_mode)
+        except CodegenError:
+            uncompiled += 1
+            fn = None
+        expected, _ = engine.execute(plan)  # warmup + reference
+        if fn is not None:
+            engine.execute(plan, codegen=fn)  # warmup the specialized arm
+        interpreted_samples: list[float] = []
+        codegen_samples: list[float] = []
+        for _ in range(rounds):
+            started = time.perf_counter()
+            base_answer, _ = engine.execute(plan)
+            interpreted_samples.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            answer, _ = engine.execute(plan, codegen=fn)
+            codegen_samples.append(time.perf_counter() - started)
+            mismatches += answer != expected
+            mismatches += base_answer != expected
+        points.append(
+            CodegenQueryPoint(
+                name=name,
+                interpreted_ms=_trimmed_mean_ms(interpreted_samples),
+                codegen_ms=_trimmed_mean_ms(codegen_samples),
+                results=len(expected),
+            )
+        )
+    return CodegenMeasurement(
+        points=points, mode=mode, mismatches=mismatches, uncompiled=uncompiled
+    )

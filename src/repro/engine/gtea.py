@@ -209,6 +209,7 @@ class GTEA:
         candidate_provider: CandidateProvider | None = None,
         stats: EvaluationStats | None = None,
         adaptive: bool | None = None,
+        codegen=None,
     ) -> tuple[ResultSet | dict[int, ResultSet], EvaluationStats]:
         """Run a compiled plan; see :meth:`evaluate_with_stats` for args.
 
@@ -218,11 +219,34 @@ class GTEA:
         against the *original* query — their node ids may reference
         nodes the rewrite dropped or relocated.  ``adaptive`` overrides
         the engine-level flag for this execution.
+
+        ``codegen`` optionally carries a specialized
+        :class:`~repro.plan.codegen.CompiledPlanFunction` for this plan
+        (the session layer caches them per fingerprint).  It is used
+        only when it actually applies — plain GTEA routing, no group
+        nodes or output structures, no adaptive reordering, and an
+        index match — so passing one is always safe; anything else
+        falls back to the interpreted operator pipeline.
         """
         if stats is None:
             stats = EvaluationStats()
         if adaptive is None:
             adaptive = self.adaptive
+
+        if (
+            codegen is not None
+            and not adaptive
+            and not group_nodes
+            and output_structures is None
+            and plan.physical.executor == "gtea"
+            and plan.physical.covers_query(plan.query)
+            and codegen.index_name == self.resolved_index()
+        ):
+            state = ExecutionState(
+                self, plan.query, stats, candidate_provider=candidate_provider
+            )
+            codegen(state)
+            return state.answer, stats
 
         query, operators = self._instantiate(plan, group_nodes, output_structures)
         state = ExecutionState(
@@ -258,10 +282,7 @@ class GTEA:
             query = plan.original
             return query, build_gtea_operators(query.bottom_up())
         query = plan.query
-        if (
-            plan.physical.executor == "gtea"
-            and set(plan.physical.downward_order) != set(query.nodes)
-        ):
+        if plan.physical.executor == "gtea" and not plan.physical.covers_query(query):
             return query, build_gtea_operators(query.bottom_up())
         return query, instantiate_operators(plan.physical.operators)
 

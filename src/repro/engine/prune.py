@@ -24,7 +24,7 @@ Deviations documented in DESIGN.md:
 from __future__ import annotations
 
 from ..graph.digraph import DataGraph
-from ..logic import evaluate
+from ..logic import Const, evaluate
 from ..query.gtpq import GTPQ, EdgeType
 from ..reachability.base import GraphReachability
 from ..reachability.contour import Contour, merge_pred_lists, merge_succ_lists
@@ -131,13 +131,15 @@ def downward_step(
     the generic fallback, which needs no contours).
     """
     context.downward_ops += 1
-    if not context.query.children[node_id]:
-        # A leaf's fext is normally TRUE, but rewrites can leave a
-        # constant FALSE behind (a dropped subtree substituted to 0);
-        # the valuation is empty either way, so evaluate it once.
-        keep = evaluate(context.query.fext(node_id), {}, default=False)
-        return list(candidates) if keep else []
-    return _filter_downward(context, node_id, list(candidates), refined_children)
+    fext = context.query.fext(node_id)
+    if isinstance(fext, Const):
+        # Constant fext decides the whole candidate set at once: every
+        # leaf (normally TRUE, but rewrites can leave a constant FALSE
+        # behind — a dropped subtree substituted to 0), and any internal
+        # node whose obligations folded away.  Hoisting the check here
+        # skips the per-candidate valuation loop entirely.
+        return list(candidates) if fext.value else []
+    return _filter_downward(context, node_id, list(candidates), refined_children, fext)
 
 
 def needs_pred_contour(context: PruningContext, node_id: str) -> bool:
@@ -168,6 +170,7 @@ def _filter_downward(
     node_id: str,
     candidates: list[int],
     refined: MatSets,
+    fext,
 ) -> list[int]:
     """Evaluate ``fext(node_id)`` for every candidate; keep the satisfied."""
     query, graph = context.query, context.graph
@@ -185,7 +188,6 @@ def _filter_downward(
         c: {p for w in refined[c] for p in graph.predecessors(w)}
         for c in pc_children
     }
-    fext = query.fext(node_id)
 
     # The chain-shared contour machinery only pays off when there are AD
     # children to valuate; PC-only nodes (common in XMark patterns) skip

@@ -56,10 +56,12 @@ from typing import Iterable, Sequence
 from ..graph.digraph import DataGraph
 from ..graph.stats import GraphStats, graph_stats
 from ..plan import (
+    CodegenError,
     CompiledPlan,
     CostProfile,
     choose_index,
     compile_batch,
+    compile_plan,
     compile_query,
     should_share,
 )
@@ -163,6 +165,21 @@ class QuerySession:
             prune-op counts are identical to serial execution.  Call
             :meth:`close` (or use the session as a context manager) to
             release the worker pools.
+        codegen: compile GTEA-routed plans to specialized Python
+            (:mod:`repro.plan.codegen`) and execute through the compiled
+            function, cached per plan fingerprint next to the plan cache
+            and invalidated with the graph version.  ``"auto"`` (or
+            ``True``) tries codegen and falls back silently to the
+            interpreted operator pipeline wherever it does not apply —
+            baseline-routed plans, parallel-sharded execution, group
+            evaluation, adaptive sessions — recording the
+            ``codegen_hits`` / ``codegen_misses`` /
+            ``codegen_fallbacks`` counters; ``"closure"`` uses the
+            debuggable closure backend instead of emitted source;
+            ``False`` (default) never specializes.  Answers are
+            identical in every mode.  Codegen executions record no
+            per-operator stats, so they never feed the cost profile's
+            interpreted-arm calibration.
 
     Every execution's observed per-operator stats feed the session-held
     :attr:`cost_profile` (:class:`~repro.plan.feedback.CostProfile`),
@@ -182,10 +199,17 @@ class QuerySession:
         subtree_cache_size: int = 4096,
         adaptive: bool = False,
         parallel: int | ParallelOptions | None = None,
+        codegen: bool | str = False,
     ):
         self.graph = graph
         self.default_index = index
         self.adaptive = adaptive
+        if codegen not in (False, True, "auto", "closure"):
+            raise ValueError(
+                f"unknown codegen setting {codegen!r}; "
+                "expected False, True, 'auto' or 'closure'"
+            )
+        self.codegen = codegen
         if parallel is None or isinstance(parallel, ParallelOptions):
             self.parallel_options = parallel
         else:
@@ -194,6 +218,11 @@ class QuerySession:
         self.candidate_cache = LRUCache(candidate_cache_size)
         self.result_cache = LRUCache(result_cache_size)
         self.subtree_cache = LRUCache(subtree_cache_size)
+        # Specialized plan functions (repro.plan.codegen) per fingerprint;
+        # non-specializable plans cache their fallback reason so the
+        # analysis never re-runs.  Same key space and lifetime as the
+        # plan cache.
+        self.codegen_cache = LRUCache(plan_cache_size)
         self.cost_profile = CostProfile()
         # Latest observed operator records per fingerprint (for
         # explain()'s estimated-vs-observed view), bounded like the plan
@@ -280,6 +309,7 @@ class QuerySession:
         self.candidate_cache.clear()
         self.result_cache.clear()
         self.subtree_cache.clear()
+        self.codegen_cache.clear()
         # The cost profile survives: its entries are keyed by graph
         # version, so stale observations simply stop being consulted.
         self._observed_ops.clear()
@@ -344,11 +374,28 @@ class QuerySession:
         When the session has already executed the query, the physical
         section shows each operator's compile-time estimate next to its
         latest observed runtime stats (set sizes, wall time, index
-        probes), including any adaptive reordering.
+        probes), including any adaptive reordering.  Codegen sessions
+        append a ``[codegen]`` note: the specialized function that will
+        run (mode, node count, const-folded steps), or why the plan
+        falls back to the interpreted pipeline.
         """
         self._ensure_fresh()
         plan = self._plan_for(query)
-        return plan.compiled.explain(observed=self._observed_ops.peek(plan.fingerprint))
+        rendered = plan.compiled.explain(observed=self._observed_ops.peek(plan.fingerprint))
+        if self.codegen:
+            rendered += "\n" + self._codegen_note(plan)
+        return rendered
+
+    def _codegen_note(self, plan: QueryPlan) -> str:
+        """The ``[codegen]`` line of :meth:`explain` for one plan."""
+        if self.adaptive:
+            return "[codegen] interpreted fallback (adaptive sessions reorder at runtime)"
+        if self.parallel_options is not None and plan.compiled.physical.executor == "gtea":
+            return "[codegen] interpreted fallback (parallel-sharded execution)"
+        entry, _ = self._codegen_entry(plan)
+        if isinstance(entry, str):
+            return f"[codegen] interpreted fallback ({entry})"
+        return f"[codegen] {entry.describe()}"
 
     def _plan_for(self, query: QueryLike) -> QueryPlan:
         # One planning operation counts exactly one plan-cache hit or miss,
@@ -466,6 +513,21 @@ class QuerySession:
         parallel = None
         if not group_nodes and plan.compiled.physical.executor == "gtea":
             parallel = self.parallel_executor(index_name)
+        codegen_fn = None
+        if self.codegen:
+            if parallel is not None or group_nodes or self.adaptive:
+                # Sharded, group and adaptive executions stay interpreted.
+                stats.codegen_fallbacks = 1
+            else:
+                entry, was_cached = self._codegen_entry(plan)
+                if isinstance(entry, str):
+                    stats.codegen_fallbacks = 1
+                else:
+                    codegen_fn = entry
+                    if was_cached:
+                        stats.codegen_hits = 1
+                    else:
+                        stats.codegen_misses = 1
         with stats.record_candidate_cache(self.candidate_cache.counters):
             if parallel is not None:
                 results, stats = parallel.execute(
@@ -479,6 +541,7 @@ class QuerySession:
                     group_nodes=group_nodes,
                     candidate_provider=self._candidate_provider(plan),
                     stats=stats,
+                    codegen=codegen_fn,
                 )
         stats.result_cache_misses = 1
         self.result_cache.put((plan.fingerprint, group_nodes), frozenset(results))
@@ -494,6 +557,26 @@ class QuerySession:
                 plan, stats, executor="gtea-parallel" if parallel is not None else None
             )
         return results, stats
+
+    def _codegen_entry(self, plan: QueryPlan) -> tuple[object, bool]:
+        """The codegen-cache entry for ``plan``, compiling on a miss.
+
+        Returns ``(entry, was_cached)`` where ``entry`` is a
+        :class:`~repro.plan.codegen.CompiledPlanFunction`, or the
+        fallback reason (a string) when the backend cannot specialize
+        the plan — negative outcomes are cached too, so the analysis
+        runs once per fingerprint.
+        """
+        cached = self.codegen_cache.get(plan.fingerprint)
+        if cached is not None:
+            return cached, True
+        mode = "closure" if self.codegen == "closure" else "source"
+        try:
+            entry: object = compile_plan(plan.compiled, mode=mode)
+        except CodegenError as error:
+            entry = str(error)
+        self.codegen_cache.put(plan.fingerprint, entry)
+        return entry, False
 
     def _record_feedback(
         self, plan: QueryPlan, stats: EvaluationStats, executor: str | None = None
@@ -731,6 +814,10 @@ class QuerySession:
             "subtree": {
                 **self.subtree_cache.counters.snapshot(),
                 "size": len(self.subtree_cache),
+            },
+            "codegen": {
+                **self.codegen_cache.counters.snapshot(),
+                "size": len(self.codegen_cache),
             },
             "indexes": {"pooled": len(self._reach_pool)},
         }

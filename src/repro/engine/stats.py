@@ -69,6 +69,18 @@ class EvaluationStats:
     #: the isolated per-query path because nothing worthwhile is shared).
     batch_share_skipped: int = 0
     # ------------------------------------------------------------------
+    # Plan-codegen counters (repro.plan.codegen, behind
+    # ``QuerySession(codegen=...)``).  All zero when codegen is off.
+    # ------------------------------------------------------------------
+    #: executions served by a cached specialized function.
+    codegen_hits: int = 0
+    #: executions that compiled a specialized function first.
+    codegen_misses: int = 0
+    #: codegen-enabled executions that ran the interpreted pipeline
+    #: anyway (baseline-routed, parallel-sharded, group evaluation, or a
+    #: plan the backend cannot specialize).
+    codegen_fallbacks: int = 0
+    # ------------------------------------------------------------------
     # Sharded-execution counters (repro.engine.parallel).  All zero when
     # the prune phase ran serially.
     # ------------------------------------------------------------------
@@ -155,6 +167,9 @@ class EvaluationStats:
         self.batch_unique_queries += other.batch_unique_queries
         self.batch_shared_subtrees += other.batch_shared_subtrees
         self.batch_share_skipped += other.batch_share_skipped
+        self.codegen_hits += other.codegen_hits
+        self.codegen_misses += other.codegen_misses
+        self.codegen_fallbacks += other.codegen_fallbacks
         self.parallel_workers = max(self.parallel_workers, other.parallel_workers)
         self.parallel_shard_tasks += other.parallel_shard_tasks
         for worker, tasks in other.parallel_worker_tasks.items():
@@ -190,6 +205,10 @@ class EvaluationStats:
         if self.parallel_shard_tasks:
             row["workers"] = self.parallel_workers
             row["shard_tasks"] = self.parallel_shard_tasks
+        if self.codegen_hits or self.codegen_misses or self.codegen_fallbacks:
+            row["codegen_hits"] = self.codegen_hits
+            row["codegen_misses"] = self.codegen_misses
+            row["codegen_fallbacks"] = self.codegen_fallbacks
         return row
 
 

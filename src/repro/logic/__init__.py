@@ -14,6 +14,7 @@ from .assignment import (
     evaluate,
     models,
 )
+from .codegen import LoweringError, compile_formula, lower_formula
 from .formula import (
     FALSE,
     TRUE,
@@ -60,6 +61,7 @@ __all__ = [
     "Const",
     "Formula",
     "FormulaParseError",
+    "LoweringError",
     "Not",
     "Or",
     "Var",
@@ -67,6 +69,7 @@ __all__ = [
     "brute_force_satisfiable",
     "brute_force_tautology",
     "cnf_clauses",
+    "compile_formula",
     "count_models",
     "disjoint",
     "dnf_terms",
@@ -79,6 +82,7 @@ __all__ = [
     "land",
     "lnot",
     "lor",
+    "lower_formula",
     "lxor",
     "models",
     "parse_formula",

@@ -36,7 +36,9 @@ class Formula:
         fs = Var("u2") & ~Var("u3")
     """
 
-    __slots__ = ()
+    # ``_vars`` lazily caches the variables() frozenset; formulas are
+    # immutable, so the set can never go stale.
+    __slots__ = ("_vars",)
 
     def __and__(self, other: "Formula") -> "Formula":
         return land(self, other)
@@ -48,7 +50,15 @@ class Formula:
         return lnot(self)
 
     def variables(self) -> frozenset[str]:
-        """Return the set of variable names occurring in the formula."""
+        """Return the set of variable names occurring in the formula.
+
+        Computed once and cached on the instance; callers on hot paths
+        (the pruning loops, the codegen backend) may call this freely.
+        """
+        try:
+            return self._vars
+        except AttributeError:
+            pass
         out: set[str] = set()
         stack: list[Formula] = [self]
         while stack:
@@ -59,7 +69,11 @@ class Formula:
                 stack.append(node.child)
             elif isinstance(node, (And, Or)):
                 stack.extend(node.children)
-        return frozenset(out)
+        frozen = frozenset(out)
+        # The immutability guards block normal attribute writes; the
+        # cache slot is the one sanctioned exception.
+        object.__setattr__(self, "_vars", frozen)
+        return frozen
 
     def walk(self) -> Iterator["Formula"]:
         """Yield every sub-formula (including ``self``), pre-order."""

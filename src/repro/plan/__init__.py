@@ -10,6 +10,13 @@ cost estimates).  :class:`repro.engine.GTEA` executes compiled plans;
 :class:`repro.engine.QuerySession` caches them per query fingerprint.
 """
 
+from .codegen import (
+    CodegenError,
+    CompiledPlanFunction,
+    analyze_plan,
+    compile_plan,
+    supports_plan,
+)
 from .compile import CompiledPlan, compile_query
 from .shared import (
     BatchPlan,
@@ -44,7 +51,9 @@ __all__ = [
     "AUTO_TC_MAX_NODES",
     "BatchPlan",
     "CandidateSource",
+    "CodegenError",
     "CompiledPlan",
+    "CompiledPlanFunction",
     "CostEstimate",
     "CostProfile",
     "LogicalPlan",
@@ -54,6 +63,7 @@ __all__ = [
     "PruneObligation",
     "SharedPlanDAG",
     "SharedSubtree",
+    "analyze_plan",
     "build_logical_plan",
     "build_operator_pipeline",
     "build_physical_plan",
@@ -61,10 +71,12 @@ __all__ = [
     "choose_index",
     "choose_index_detail",
     "compile_batch",
+    "compile_plan",
     "compile_query",
     "estimate_candidates",
     "estimate_executor",
     "estimated_sharing_savings",
     "normalize",
     "should_share",
+    "supports_plan",
 ]

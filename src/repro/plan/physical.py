@@ -83,6 +83,16 @@ class PhysicalPlan:
     index_reason: str
     operators: tuple[PhysicalOperator, ...] = ()
 
+    def covers_query(self, query) -> bool:
+        """Does the downward order cover every node of ``query``?
+
+        Executors key off this: :meth:`repro.engine.gtea.GTEA._instantiate`
+        falls back to the default bottom-up order when it is False, and
+        the codegen backend (:mod:`repro.plan.codegen`) refuses to
+        specialize the plan.
+        """
+        return set(self.downward_order) == set(query.nodes)
+
     def explain_lines(self, observed: "Sequence | None" = None) -> list[str]:
         """Render the plan; with ``observed`` operator stats (an
         execution's ``EvaluationStats.operator_stats``), each pipeline
