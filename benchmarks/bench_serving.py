@@ -1,0 +1,169 @@
+"""Serving tier: throughput/latency of the worker pool + warm restarts.
+
+Two experiments:
+
+* **Throughput** — a :class:`repro.serve.QueryServer` pool over one warm
+  store takes a burst of concurrent Fig. 7 requests; reported as qps and
+  p50/p99 latency (the ROADMAP's "heavy traffic" metrics).
+* **Warm restart** — the cross-process race of
+  ``python -m repro.store.restart``: a cold process populates the store,
+  a second process rehydrates from it; the warm process must reach its
+  first answer ``FLOOR``× faster *and* answer byte-identically (digest
+  comparison — the store can make things slower, never wrong).
+
+Results land in ``benchmarks/reports/serving.json`` (machine-readable,
+schema documented in docs/BENCHMARKS.md) and as tables on stdout.  The
+JSON embeds a ``cost_profile`` snapshot so future sessions can seed
+calibration from this report (``QuerySession.seed_cost_profile``).
+"""
+
+import asyncio
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+from repro.bench import format_table
+from repro.serve import QueryServer
+from repro.store.restart import fig7_workload
+
+from .conftest import emit_report
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: warm-restart first-answer speedup floor: relaxed on shared CI runners.
+FLOOR = 2.0 if os.environ.get("CI") else 3.0
+SCALE = 0.05
+WORKERS = 4
+REQUESTS = 96
+
+
+def _restart_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def run_restart(store: str | None, *, persist: bool = False) -> dict:
+    """One process of the warm-restart race; returns its JSON report."""
+    command = [sys.executable, "-m", "repro.store.restart", "--scale", str(SCALE), "--codegen"]
+    if store is not None:
+        command += ["--store", store]
+    if persist:
+        command += ["--persist"]
+    output = subprocess.run(command, env=_restart_env(), capture_output=True, text=True, check=True)
+    return json.loads(output.stdout)
+
+
+async def _drive_server(server: QueryServer, queries, requests: int) -> float:
+    """Fire ``requests`` concurrent submissions; returns wall seconds."""
+    started = time.perf_counter()
+    await asyncio.gather(*[server.submit(queries[i % len(queries)]) for i in range(requests)])
+    return time.perf_counter() - started
+
+
+def measure_serving(store_root: str) -> dict:
+    """Throughput/latency of a warmed worker pool on the Fig. 7 burst."""
+    from repro.datasets import generate_xmark
+
+    graph = generate_xmark(scale=SCALE, seed=42).graph
+    queries = fig7_workload()
+
+    async def run() -> dict:
+        server = QueryServer(graph, workers=WORKERS, store=store_root, codegen="auto")
+        await server.start()
+        # One serial warmup round per query so the burst measures serving,
+        # not first-compilation.
+        for query in queries:
+            await server.submit(query)
+        server.stats.latencies.clear()
+        server.stats.requests = 0
+        wall = await _drive_server(server, queries, REQUESTS)
+        summary = server.stats.summary()
+        server.persist()
+        profile = server._sessions[0].cost_profile.export_state()
+        await server.stop()
+        return {
+            "workers": WORKERS,
+            "requests": summary["requests"],
+            "wall_seconds": round(wall, 6),
+            "qps": round(summary["requests"] / wall, 1),
+            "p50_ms": summary["p50_ms"],
+            "p99_ms": summary["p99_ms"],
+            "errors": summary["errors"],
+            "cost_profile": profile,
+        }
+
+    return asyncio.run(run())
+
+
+def test_serving_report(tmp_path_factory):
+    store_root = str(tmp_path_factory.mktemp("serving-store"))
+
+    # Cross-process warm restart race: cold populates, warm rehydrates.
+    cold = run_restart(store_root, persist=True)
+    warm = run_restart(store_root)
+    speedup = cold["first_answer_seconds"] / warm["first_answer_seconds"]
+
+    assert warm["answer_digests"] == cold["answer_digests"], (
+        "a warm restart must answer byte-identically to the cold build"
+    )
+    assert sum(warm["rehydrated"].values()) > 0, "nothing rehydrated from the store"
+
+    serving = measure_serving(store_root)
+    assert serving["errors"] == 0
+
+    payload = {
+        "scale": SCALE,
+        "floor": FLOOR,
+        "serving": {k: v for k, v in serving.items() if k != "cost_profile"},
+        "warm_restart": {
+            "cold_first_answer_seconds": cold["first_answer_seconds"],
+            "warm_first_answer_seconds": warm["first_answer_seconds"],
+            "speedup": round(speedup, 2),
+            "rehydrated": warm["rehydrated"],
+        },
+        "cost_profile": serving["cost_profile"],
+    }
+
+    columns = [
+        "workers",
+        "requests",
+        "qps",
+        "p50_ms",
+        "p99_ms",
+        "cold_first_ms",
+        "warm_first_ms",
+        "restart_speedup",
+    ]
+    row = [
+        serving["workers"],
+        serving["requests"],
+        serving["qps"],
+        serving["p50_ms"],
+        serving["p99_ms"],
+        round(cold["first_answer_seconds"] * 1000, 1),
+        round(warm["first_answer_seconds"] * 1000, 1),
+        round(speedup, 2),
+    ]
+    emit_report(
+        "serving",
+        format_table(
+            f"Serving tier ({WORKERS} workers, Fig. 7 burst, XMark scale {SCALE}; "
+            f"warm restart {speedup:.2f}x)",
+            columns,
+            [row],
+        ),
+    )
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / "serving.json").write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    assert speedup >= FLOOR, (
+        f"warm-restart first-answer speedup {speedup:.2f}x is below the "
+        f"{FLOOR:.1f}x floor"
+    )

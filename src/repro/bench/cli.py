@@ -19,7 +19,13 @@ Subcommands:
 * ``parallel`` — sharded, concurrent downward-prune execution
   (``repro.engine.parallel``) swept over worker counts on the funnel
   workload, with exact-answer and byte-identical-survivor checks
-  against the single-shard run.
+  against the single-shard run;
+* ``serving`` — the persistence + serving tier: a cross-process
+  warm-restart race through ``python -m repro.store.restart`` (cold
+  process persists, warm process rehydrates; answers must be
+  digest-identical) followed by a concurrent Fig. 7 burst against a
+  :class:`repro.serve.QueryServer` pool, reporting qps and p50/p99
+  latency, with an optional first-answer speedup floor.
 
 Installed as a console script by ``pip install .``; run ``repro-bench
 --help`` for options.
@@ -28,8 +34,14 @@ Installed as a console script by ``pip install .``; run ``repro-bench
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
+import os
+import pathlib
 import random
+import subprocess
 import sys
+import tempfile
 import time
 
 from ..datasets import (
@@ -319,6 +331,125 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _restart_process(args: argparse.Namespace, store: str, *, persist: bool) -> dict:
+    """One leg of the warm-restart race (a fresh interpreter); its report."""
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = package_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable, "-m", "repro.store.restart",
+        "--store", store,
+        "--scale", str(args.scale),
+        "--seed", str(args.seed),
+        "--codegen",
+    ]
+    if persist:
+        command.append("--persist")
+    result = subprocess.run(
+        command, env=env, capture_output=True, text=True, check=True
+    )
+    return json.loads(result.stdout)
+
+
+def _cmd_serving(args: argparse.Namespace) -> int:
+    if args.workers < 1 or args.requests < 1:
+        print(
+            "repro-bench: error: --workers and --requests must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    from ..serve import QueryServer
+    from ..store.restart import fig7_workload
+
+    store = args.store or tempfile.mkdtemp(prefix="repro-serving-")
+
+    # Leg 1: the cross-process warm-restart race.  Each leg is a fresh
+    # interpreter so the comparison measures real process start-up, not
+    # an in-process cache.
+    try:
+        cold = _restart_process(args, store, persist=True)
+        warm = _restart_process(args, store, persist=False)
+    except subprocess.CalledProcessError as error:
+        print(
+            f"repro-bench: error: restart driver failed:\n{error.stderr}",
+            file=sys.stderr,
+        )
+        return 1
+    if warm["answer_digests"] != cold["answer_digests"]:
+        print(
+            "repro-bench: error: warm restart answered differently from the "
+            "cold build (this is a bug — please report the seed)",
+            file=sys.stderr,
+        )
+        return 1
+    speedup = cold["first_answer_seconds"] / warm["first_answer_seconds"]
+
+    # Leg 2: concurrent burst against the worker pool over the same store.
+    graph = generate_xmark(scale=args.scale, seed=args.seed).graph
+    queries = fig7_workload()
+
+    async def burst() -> dict:
+        server = QueryServer(
+            graph, workers=args.workers, store=store, codegen="auto"
+        )
+        await server.start()
+        for query in queries:  # warmup: compile/prime outside the timed burst
+            await server.submit(query)
+        server.stats.latencies.clear()
+        server.stats.requests = 0
+        started = time.perf_counter()
+        await asyncio.gather(
+            *[
+                server.submit(queries[i % len(queries)])
+                for i in range(args.requests)
+            ]
+        )
+        wall = time.perf_counter() - started
+        summary = server.stats.summary()
+        await server.stop()
+        summary["qps"] = round(summary["requests"] / wall, 1)
+        return summary
+
+    summary = asyncio.run(burst())
+    if summary["errors"]:
+        print(
+            f"repro-bench: error: {summary['errors']} request(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_table(
+        f"Serving tier ({args.workers} workers, {args.requests} concurrent "
+        f"Fig. 7 requests, XMark scale {args.scale})",
+        ["workers", "requests", "qps", "p50_ms", "p99_ms",
+         "cold_first_ms", "warm_first_ms", "restart_speedup"],
+        [[
+            args.workers,
+            summary["requests"],
+            summary["qps"],
+            summary["p50_ms"],
+            summary["p99_ms"],
+            round(cold["first_answer_seconds"] * 1e3, 1),
+            round(warm["first_answer_seconds"] * 1e3, 1),
+            round(speedup, 2),
+        ]],
+    ))
+    rehydrated = sum(warm["rehydrated"].values())
+    print(f"warm restart rehydrated {rehydrated} artifacts; "
+          f"first answer {speedup:.2f}x faster than cold")
+    if args.enforce_floor and speedup < args.floor:
+        print(
+            f"repro-bench: error: warm-restart speedup {speedup:.2f}x is "
+            f"below the floor ({args.floor:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -407,6 +538,22 @@ def build_parser() -> argparse.ArgumentParser:
     parallel.add_argument("--floor-slack", type=float, default=0.25,
                           help="budget slack for --enforce-floor (default 0.25)")
     parallel.set_defaults(func=_cmd_parallel)
+
+    serving = subparsers.add_parser(
+        "serving", help="warm-store restart race + concurrent serving burst"
+    )
+    serving.add_argument("--store", metavar="DIR",
+                         help="store directory (default: a fresh temp dir)")
+    serving.add_argument("--workers", type=int, default=4,
+                         help="server worker sessions (default 4)")
+    serving.add_argument("--requests", type=int, default=96,
+                         help="concurrent requests in the burst (default 96)")
+    serving.add_argument("--enforce-floor", action="store_true",
+                         help="fail unless the warm-restart first-answer "
+                              "speedup reaches --floor")
+    serving.add_argument("--floor", type=float, default=3.0,
+                         help="speedup floor for --enforce-floor (default 3.0)")
+    serving.set_defaults(func=_cmd_serving)
     return parser
 
 

@@ -106,6 +106,14 @@ class LRUCache:
             self.counters.evictions += 1
         self._data[key] = value
 
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """A recency-ordered (oldest first) snapshot of the contents.
+
+        Does not touch counters or recency — used by the warm store to
+        persist a cache wholesale.
+        """
+        return list(self._data.items())
+
     def clear(self) -> int:
         """Drop every entry; returns how many were dropped."""
         dropped = len(self._data)

@@ -50,6 +50,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -58,11 +60,13 @@ from ..graph.stats import GraphStats, graph_stats
 from ..plan import (
     CodegenError,
     CompiledPlan,
+    CompiledPlanFunction,
     CostProfile,
     choose_index,
     compile_batch,
     compile_plan,
     compile_query,
+    rehydrate_plan_function,
     should_share,
 )
 from ..query.gtpq import GTPQ
@@ -75,8 +79,10 @@ from ..query.serialize import (
 )
 from ..reachability.base import GraphReachability
 from ..reachability.factory import build_reachability, resolve_index
+from ..store import ArtifactStore, graph_fingerprint, seed_profile_from_reports
 from .cache import LRUCache
 from .gtea import GTEA
+from .operators import OperatorStats
 from .parallel import ParallelExecutor, ParallelOptions
 from .results import ResultSet
 from .shared import SharedExecutor
@@ -177,9 +183,24 @@ class QuerySession:
             ``codegen_fallbacks`` counters; ``"closure"`` uses the
             debuggable closure backend instead of emitted source;
             ``False`` (default) never specializes.  Answers are
-            identical in every mode.  Codegen executions record no
-            per-operator stats, so they never feed the cost profile's
-            interpreted-arm calibration.
+            identical in every mode.  Compiled executions are filed in
+            the cost profile under the dedicated ``"gtea-codegen"``
+            executor key (their wall time describes the generated loop,
+            not the interpreted arm the calibration compares), so the
+            interpreted estimates are unchanged by compiled runs.
+        store: a warm store to rehydrate from and persist to — an
+            :class:`~repro.store.ArtifactStore` or a directory path
+            (``None``, the default, keeps the session purely in-memory).
+            On construction the session loads every artifact the store
+            holds for this graph's **content fingerprint** — pooled
+            reachability indexes, compiled plans, subtree-result sets,
+            specialized codegen functions (rebuilt from persisted
+            analysis + source), and cost-profile calibration — so a
+            fresh process starts warm; :attr:`store_rehydrated` records
+            what was found.  Call :meth:`persist` to publish the
+            session's current artifacts back.  A corrupt, stale or
+            missing store is never an error: affected kinds simply
+            cold-build.
 
     Every execution's observed per-operator stats feed the session-held
     :attr:`cost_profile` (:class:`~repro.plan.feedback.CostProfile`),
@@ -200,6 +221,7 @@ class QuerySession:
         adaptive: bool = False,
         parallel: int | ParallelOptions | None = None,
         codegen: bool | str = False,
+        store: ArtifactStore | str | os.PathLike | None = None,
     ):
         self.graph = graph
         self.default_index = index
@@ -234,6 +256,17 @@ class QuerySession:
         self._resolved_auto: str | None = None
         self._graph_stats: GraphStats | None = None
         self._graph_version = graph.version
+        if store is None or isinstance(store, ArtifactStore):
+            self.store = store
+        else:
+            self.store = ArtifactStore(store)
+        #: content fingerprint used by the last store interaction.
+        self.store_fingerprint: str | None = None
+        #: per-kind entry counts loaded from the store at construction.
+        self.store_rehydrated: dict[str, int] = {}
+        self._store_indexes_pending = False
+        if self.store is not None:
+            self._rehydrate_from_store()
 
     # ------------------------------------------------------------------
     # Index pool
@@ -259,6 +292,7 @@ class QuerySession:
     def reachability(self, index: str | None = None) -> GraphReachability:
         """The pooled reachability service for ``index`` (built lazily)."""
         self._ensure_fresh()
+        self._load_indexes_from_store()
         name = self._resolve(index or self.default_index)
         service = self._reach_pool.get(name)
         if service is None:
@@ -303,7 +337,11 @@ class QuerySession:
 
         Called automatically when :attr:`DataGraph.version` moves (the
         graph gained nodes or edges); call it explicitly after in-place
-        attribute mutations, which the version counter cannot see.
+        attribute mutations, which the version counter cannot see.  The
+        warm store does **not** share this blind spot: its key is the
+        graph *content* fingerprint (:func:`~repro.store.graph_fingerprint`),
+        so an in-place edit moves :meth:`persist` and rehydration to a
+        different key without any explicit call.
         """
         self.plan_cache.clear()
         self.candidate_cache.clear()
@@ -323,6 +361,9 @@ class QuerySession:
         self._resolved_auto = None
         self._graph_stats = None
         self._graph_version = self.graph.version
+        # Any still-pending lazy index load was keyed by the pre-mutation
+        # content fingerprint; it no longer describes this graph.
+        self._store_indexes_pending = False
 
     def close(self) -> None:
         """Release the worker pools of ``parallel=`` execution.
@@ -343,6 +384,185 @@ class QuerySession:
     def _ensure_fresh(self) -> None:
         if self.graph.version != self._graph_version:
             self.invalidate()
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.store)
+    # ------------------------------------------------------------------
+    def _rehydrate_from_store(self) -> None:
+        """Load every artifact the store holds for this graph's content.
+
+        The store key is :func:`~repro.store.graph_fingerprint` — full
+        graph *content*, not the version counter — so artifacts written
+        before any mutation (including an in-place attribute edit the
+        counter cannot see) are simply never found.  Each kind loads
+        independently; a missing, stale or corrupt artifact leaves that
+        kind cold.
+        """
+        store = self.store
+        assert store is not None
+        fingerprint = graph_fingerprint(self.graph)
+        self.store_fingerprint = fingerprint
+        counts = dict.fromkeys(
+            (
+                "indexes",
+                "plans",
+                "candidates",
+                "subtrees",
+                "results",
+                "codegen",
+                "profile_executions",
+            ),
+            0,
+        )
+
+        # The index artifact is by far the heaviest (its unpickle rivals
+        # a rebuild on small graphs) and a warm restart serving known
+        # traffic answers straight from the rehydrated result/plan
+        # caches without ever probing an index — so indexes load lazily,
+        # on the first reachability() demand (see _load_indexes_from_store).
+        self._store_indexes_pending = True
+
+        plans = store.load(fingerprint, "plans")
+        if isinstance(plans, list):
+            for key, plan in plans:
+                self.plan_cache.put(key, plan)
+            counts["plans"] = len(plans)
+
+        candidates = store.load(fingerprint, "candidates")
+        if isinstance(candidates, dict):
+            for key, nodes in candidates.items():
+                self.candidate_cache.put(key, nodes)
+            counts["candidates"] = len(candidates)
+
+        subtrees = store.load(fingerprint, "subtrees")
+        if isinstance(subtrees, dict):
+            for key, survivors in subtrees.items():
+                self.subtree_cache.put(key, survivors)
+            counts["subtrees"] = len(subtrees)
+
+        # Full answer sets are safe to serve across processes: the store
+        # key guarantees the graph content is identical, and the cache
+        # key carries the query fingerprint + group nodes.
+        results = store.load(fingerprint, "results")
+        if isinstance(results, dict):
+            for key, answer in results.items():
+                self.result_cache.put(key, answer)
+            counts["results"] = len(results)
+
+        if self.codegen:
+            compiled = store.load(fingerprint, "codegen")
+            if isinstance(compiled, dict):
+                mode = "closure" if self.codegen == "closure" else "source"
+                for key, payload in compiled.items():
+                    if isinstance(payload, str):
+                        # A persisted fallback reason is as reusable as a
+                        # persisted function: the analysis never re-runs.
+                        self.codegen_cache.put(key, payload)
+                        counts["codegen"] += 1
+                        continue
+                    try:
+                        entry = rehydrate_plan_function(
+                            payload["analysis"],
+                            mode=mode,
+                            source=payload.get("source"),
+                        )
+                    except Exception:
+                        continue  # cold-compile on first use instead
+                    self.codegen_cache.put(key, entry)
+                    counts["codegen"] += 1
+
+        counts["profile_executions"] = self.cost_profile.import_state(
+            store.load(fingerprint, "profile"), self._graph_version
+        )
+        self.store_rehydrated = counts
+
+    def _load_indexes_from_store(self) -> None:
+        """Deferred half of rehydration: pooled reachability services.
+
+        Runs at most once per (store, fingerprint) pairing, on the first
+        :meth:`reachability` demand; a result/plan-cache-served warm
+        restart never pays the unpickle at all.
+        """
+        if not self._store_indexes_pending:
+            return
+        self._store_indexes_pending = False
+        indexes = self.store.load(self.store_fingerprint, "indexes")
+        if isinstance(indexes, dict):
+            for name, service in indexes.items():
+                # The pickle deliberately drops the graph reference
+                # (GraphReachability.__getstate__); attach the live one.
+                service.graph = self.graph
+                self._reach_pool.setdefault(name, service)
+            self.store_rehydrated["indexes"] = len(indexes)
+
+    def persist(self) -> dict[str, int]:
+        """Publish this session's warm artifacts to the store.
+
+        The content fingerprint is recomputed here — not reused from
+        construction — so artifacts learned after an in-place attribute
+        mutation land under the *mutated* content's key.  Each kind is
+        best-effort: an unpicklable entry (possible for exotic attribute
+        values) skips that kind rather than failing the call.  Returns
+        the per-kind entry counts actually persisted.
+        """
+        if self.store is None:
+            raise ValueError("session was created without store=; nothing to persist to")
+        self._ensure_fresh()
+        fingerprint = graph_fingerprint(self.graph)
+        self.store_fingerprint = fingerprint
+        persisted: dict[str, int] = {}
+
+        if self._reach_pool and self._try_save(fingerprint, "indexes", dict(self._reach_pool)):
+            persisted["indexes"] = len(self._reach_pool)
+
+        plans = self.plan_cache.items()
+        if plans and self._try_save(fingerprint, "plans", plans):
+            persisted["plans"] = len(plans)
+
+        candidates = dict(self.candidate_cache.items())
+        if candidates and self._try_save(fingerprint, "candidates", candidates):
+            persisted["candidates"] = len(candidates)
+
+        subtrees = dict(self.subtree_cache.items())
+        if subtrees and self._try_save(fingerprint, "subtrees", subtrees):
+            persisted["subtrees"] = len(subtrees)
+
+        results = dict(self.result_cache.items())
+        if results and self._try_save(fingerprint, "results", results):
+            persisted["results"] = len(results)
+
+        compiled: dict[str, object] = {}
+        for key, entry in self.codegen_cache.items():
+            if isinstance(entry, CompiledPlanFunction):
+                # The exec'd function object cannot pickle; its analysis
+                # and emitted source can, and rebuild it exactly.
+                compiled[key] = {
+                    "mode": entry.mode,
+                    "source": entry.source,
+                    "analysis": entry.analysis,
+                }
+            else:
+                compiled[key] = entry
+        if compiled and self._try_save(fingerprint, "codegen", compiled):
+            persisted["codegen"] = len(compiled)
+
+        state = self.cost_profile.export_state()
+        if state is not None and self._try_save(fingerprint, "profile", state):
+            persisted["profile_keys"] = len(state["keys"])
+        return persisted
+
+    def _try_save(self, fingerprint: str, kind: str, payload) -> bool:
+        try:
+            self.store.save(fingerprint, kind, payload)
+        except Exception:
+            return False
+        return True
+
+    def seed_cost_profile(self, reports: str | os.PathLike) -> int:
+        """Fold ``cost_profile`` snapshots from bench reports (a JSON
+        file or a directory of them, e.g. ``benchmarks/reports``) into
+        this session's profile; returns executions imported."""
+        return seed_profile_from_reports(self.cost_profile, reports, self._graph_version)
 
     # ------------------------------------------------------------------
     # Planning
@@ -528,6 +748,7 @@ class QuerySession:
                         stats.codegen_hits = 1
                     else:
                         stats.codegen_misses = 1
+        started = time.perf_counter()
         with stats.record_candidate_cache(self.candidate_cache.counters):
             if parallel is not None:
                 results, stats = parallel.execute(
@@ -543,6 +764,7 @@ class QuerySession:
                     stats=stats,
                     codegen=codegen_fn,
                 )
+        elapsed = time.perf_counter() - started
         stats.result_cache_misses = 1
         self.result_cache.put((plan.fingerprint, group_nodes), frozenset(results))
         if not group_nodes:
@@ -553,10 +775,46 @@ class QuerySession:
             # executions file under "gtea-parallel": their wall times
             # reflect pool scheduling, not the serial cost model the
             # calibration arms compare.
-            self._record_feedback(
-                plan, stats, executor="gtea-parallel" if parallel is not None else None
-            )
+            if codegen_fn is not None:
+                self._record_codegen_feedback(plan, stats, elapsed)
+            else:
+                self._record_feedback(
+                    plan, stats, executor="gtea-parallel" if parallel is not None else None
+                )
         return results, stats
+
+    def _record_codegen_feedback(
+        self, plan: QueryPlan, stats: EvaluationStats, elapsed: float
+    ) -> None:
+        """File one compiled execution under the ``"gtea-codegen"`` key.
+
+        Compiled runs skip per-operator instrumentation, so without this
+        they never reach the profile and calibration silently starves
+        under ``codegen=True``.  They must not feed the interpreted arms
+        either — the generated loop's seconds-per-element would skew the
+        executor inequality — so the record goes to its own executor key,
+        which the calibration reads exactly like the ``"gtea-parallel"``
+        exclusion (volume counts, interpreted estimates untouched).  The
+        synthetic record bypasses :meth:`_record_feedback` so the
+        ``explain()`` estimated-vs-observed view keeps showing genuine
+        interpreted operator stats only.
+        """
+        self.cost_profile.record(
+            index_name=plan.compiled.physical.index_name,
+            executor="gtea-codegen",
+            graph_version=self._graph_version,
+            operator_stats=[
+                OperatorStats(
+                    op="CodegenExecute",
+                    target=None,
+                    input_size=stats.input_nodes,
+                    output_size=stats.result_count,
+                    seconds=elapsed,
+                    index_lookups=stats.index_lookups,
+                    index_entries=stats.index_entries,
+                )
+            ],
+        )
 
     def _codegen_entry(self, plan: QueryPlan) -> tuple[object, bool]:
         """The codegen-cache entry for ``plan``, compiling on a miss.
@@ -820,6 +1078,16 @@ class QuerySession:
                 "size": len(self.codegen_cache),
             },
             "indexes": {"pooled": len(self._reach_pool)},
+            **(
+                {
+                    "store": {
+                        **self.store.counters.snapshot(),
+                        "rehydrated": sum(self.store_rehydrated.values()),
+                    }
+                }
+                if self.store is not None
+                else {}
+            ),
         }
 
     def __repr__(self) -> str:

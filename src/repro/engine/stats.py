@@ -188,28 +188,32 @@ class EvaluationStats:
         return total
 
     def row(self) -> dict[str, float]:
-        row = {
+        """This evaluation as a flat report row, with a *fixed* schema.
+
+        Every counter column is always present (zeros included): report
+        rows are diffed and tabulated across configurations, and a
+        schema that depends on which features fired (codegen on/off,
+        sharded or serial, warm or cold caches) breaks that tooling.
+        Only the ``t_<phase>`` timing columns vary — they are keyed by
+        the phases that actually ran, which legitimately differ between
+        executors.
+        """
+        return {
             "#input": self.input_nodes,
             "#index": self.index_entries,
             "#intermediate": self.intermediate_cost,
             "results": self.result_count,
             **{f"t_{k}": round(v, 6) for k, v in self.phase_seconds.items()},
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "prune_ops": self.downward_prune_ops,
+            "shared_subtrees": self.batch_shared_subtrees,
+            "workers": self.parallel_workers,
+            "shard_tasks": self.parallel_shard_tasks,
+            "codegen_hits": self.codegen_hits,
+            "codegen_misses": self.codegen_misses,
+            "codegen_fallbacks": self.codegen_fallbacks,
         }
-        if self.cache_hits or self.cache_misses:
-            row["cache_hits"] = self.cache_hits
-            row["cache_misses"] = self.cache_misses
-        if self.downward_prune_ops:
-            row["prune_ops"] = self.downward_prune_ops
-        if self.batch_shared_subtrees:
-            row["shared_subtrees"] = self.batch_shared_subtrees
-        if self.parallel_shard_tasks:
-            row["workers"] = self.parallel_workers
-            row["shard_tasks"] = self.parallel_shard_tasks
-        if self.codegen_hits or self.codegen_misses or self.codegen_fallbacks:
-            row["codegen_hits"] = self.codegen_hits
-            row["codegen_misses"] = self.codegen_misses
-            row["codegen_fallbacks"] = self.codegen_fallbacks
-        return row
 
 
 class _CandidateCacheDelta:

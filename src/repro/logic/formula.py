@@ -49,6 +49,24 @@ class Formula:
     def __invert__(self) -> "Formula":
         return lnot(self)
 
+    # Pickle support: the default slot-state protocol restores slots via
+    # setattr, which the subclasses' immutability guards reject, so
+    # formulas inside persisted plans would fail to *un*pickle.  Spell
+    # the state out and restore it through object.__setattr__.
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                try:
+                    state[slot] = getattr(self, slot)
+                except AttributeError:
+                    pass  # the _vars memo may be unset
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
     def variables(self) -> frozenset[str]:
         """Return the set of variable names occurring in the formula.
 

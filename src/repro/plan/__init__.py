@@ -15,6 +15,7 @@ from .codegen import (
     CompiledPlanFunction,
     analyze_plan,
     compile_plan,
+    rehydrate_plan_function,
     supports_plan,
 )
 from .compile import CompiledPlan, compile_query
@@ -77,6 +78,7 @@ __all__ = [
     "estimate_executor",
     "estimated_sharing_savings",
     "normalize",
+    "rehydrate_plan_function",
     "should_share",
     "supports_plan",
 ]

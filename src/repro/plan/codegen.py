@@ -273,8 +273,11 @@ def _finish_pipeline(state, context, ops, started, lookups0, entries0):
     """Close the downward phase and run the interpreted suffix.
 
     The suffix operators run directly (no ``_run_operator`` wrapper), so
-    a codegen execution records *no* ``operator_stats`` — the session's
-    cost-profile calibration only ever sees interpreted timings.
+    a codegen execution records *no* per-operator ``operator_stats``.
+    The session instead files one whole-execution record under the
+    dedicated ``"gtea-codegen"`` cost-profile key
+    (``QuerySession._record_codegen_feedback``), keeping the interpreted
+    arms' calibration untouched by compiled timings.
     """
     from ..engine.operators import BuildMatchingGraph, CollectResults, UpwardPrune
 
@@ -597,4 +600,30 @@ def compile_plan(plan: CompiledPlan, mode: str = "source") -> CompiledPlanFuncti
     source = emit_plan_source(analysis)
     namespace = _runtime_namespace(analysis)
     exec(compile(source, "<repro.plan.codegen>", "exec"), namespace)
+    return CompiledPlanFunction(namespace["_specialized"], mode, source, analysis)
+
+
+def rehydrate_plan_function(
+    analysis: PlanAnalysis, mode: str = "source", source: str | None = None
+) -> CompiledPlanFunction:
+    """Rebuild a specialized function from persisted pieces.
+
+    The warm store (:mod:`repro.store`) can only serialize the pure-data
+    half of a :class:`CompiledPlanFunction` — its :class:`PlanAnalysis`
+    and emitted source text; the executable half (an ``exec``'d function
+    object) does not pickle.  Rehydration skips :func:`analyze_plan` and
+    goes straight to ``compile``/``exec`` over the stored source (or
+    rebuilds the closure interpreter from the analysis alone).  When the
+    source text is absent in source mode — e.g. the store was written by
+    a closure-mode session — it is re-emitted from the analysis, which
+    is deterministic.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown codegen mode {mode!r}; expected one of {MODES}")
+    if mode == "closure":
+        return CompiledPlanFunction(_ClosureRunner(analysis), mode, None, analysis)
+    if source is None:
+        source = emit_plan_source(analysis)
+    namespace = _runtime_namespace(analysis)
+    exec(compile(source, "<repro.plan.codegen rehydrated>", "exec"), namespace)
     return CompiledPlanFunction(namespace["_specialized"], mode, source, analysis)

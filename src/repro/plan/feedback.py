@@ -31,10 +31,24 @@ Executions are filed under the executor that actually ran: the isolated
 GTEA pipeline ("gtea"), the baseline delegate ("twigstackd"), the
 shared-batch path ("gtea-shared" — excluded from calibration, since a
 warm subtree cache leaves those executions with suffix-only operator
-records whose seconds have no matching candidate volume), or the
-sharded pool driver ("gtea-parallel" — also excluded: its wall times
-include pool scheduling and, per shard, repeated chain scans, neither
-of which the serial cost model prices).
+records whose seconds have no matching candidate volume), the sharded
+pool driver ("gtea-parallel" — also excluded: its wall times include
+pool scheduling and, per shard, repeated chain scans, neither of which
+the serial cost model prices), or a specialized compiled function
+("gtea-codegen" — also excluded: its seconds describe the generated
+loop, not the interpreted arm the executor inequality compares, so
+folding them into "gtea" would silently deflate the interpreted
+seconds-per-element).  The calibration consultations below match the
+"gtea" and "twigstackd" keys *exactly*; every tagged variant is visible
+in :meth:`CostProfile.snapshot` but never steers the planner.
+
+Profiles also round-trip through the warm store
+(:mod:`repro.store`): :meth:`CostProfile.export_state` emits a
+JSON-safe snapshot of the latest graph version's aggregates and
+:meth:`CostProfile.import_state` folds such a snapshot back in under
+the importing session's graph version — how a fresh process starts
+with last run's calibration instead of :data:`MIN_SAMPLES` cold
+executions.
 
 :class:`repro.engine.session.QuerySession` owns one profile, records
 into it after every execution, and passes it to every compilation
@@ -79,6 +93,15 @@ class OperatorObservation:
         self.index_lookups += record.index_lookups
         self.index_entries += record.index_entries
 
+    def merge(self, other: "OperatorObservation") -> None:
+        """Fold another aggregate in (store rehydration path)."""
+        self.runs += other.runs
+        self.items += other.items
+        self.produced += other.produced
+        self.seconds += other.seconds
+        self.index_lookups += other.index_lookups
+        self.index_entries += other.index_entries
+
 
 @dataclass
 class _KeyProfile:
@@ -108,6 +131,13 @@ class _KeyProfile:
         prune = self.by_operator.get("DownwardPrune")
         if prune is not None and prune.items > 0:
             return prune.items
+        compiled = self.by_operator.get("CodegenExecute")
+        if compiled is not None and compiled.items > 0:
+            # Compiled executions record one whole-plan observation whose
+            # input size is the scanned candidate volume ("gtea-codegen"
+            # keys only — never consulted for calibration, but the
+            # snapshot rate should still mean something).
+            return compiled.items
         delegate = self.by_operator.get("BaselineDelegate")
         return delegate.items if delegate is not None else 0
 
@@ -205,6 +235,88 @@ class CostProfile:
         """Observed GTEA seconds-per-element under one index, or None."""
         key = self._keys.get((index_name, "gtea", graph_version))
         return key.seconds_per_element() if key is not None else None
+
+    # ------------------------------------------------------------------
+    # Persistence (the warm store of :mod:`repro.store`)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict | None:
+        """A JSON-safe snapshot of the latest graph version's aggregates.
+
+        Only the newest version's keys are exported — older versions are
+        already on their way out of the in-memory profile (see
+        :meth:`record`) and a persisted store is keyed by graph
+        *content*, under which exactly one version is ever live.
+        Returns None when the profile holds nothing exportable.
+        """
+        if self._latest_version is None:
+            return None
+        keys = []
+        for (index_name, executor, version), profile in sorted(self._keys.items()):
+            if version != self._latest_version:
+                continue
+            keys.append(
+                {
+                    "index": index_name,
+                    "executor": executor,
+                    "executions": profile.executions,
+                    "operators": {
+                        op: {
+                            "runs": obs.runs,
+                            "items": obs.items,
+                            "produced": obs.produced,
+                            "seconds": obs.seconds,
+                            "index_lookups": obs.index_lookups,
+                            "index_entries": obs.index_entries,
+                        }
+                        for op, obs in sorted(profile.by_operator.items())
+                    },
+                }
+            )
+        return {"keys": keys} if keys else None
+
+    def import_state(self, state: dict | None, graph_version: int) -> int:
+        """Fold an :meth:`export_state` snapshot in under ``graph_version``.
+
+        The exporting process's graph version is irrelevant — two
+        processes building the same graph can disagree on the mutation
+        count — so imported aggregates are re-keyed to the *importing*
+        session's version.  Returns the number of executions folded in.
+        Malformed snapshots (hand-edited reports, schema drift) import
+        zero rather than raising.
+        """
+        if not isinstance(state, dict):
+            return 0
+        imported = 0
+        for entry in state.get("keys", ()):
+            try:
+                index_name = str(entry["index"])
+                executor = str(entry["executor"])
+                executions = int(entry["executions"])
+                operators = {
+                    str(op): OperatorObservation(
+                        runs=int(fields["runs"]),
+                        items=int(fields["items"]),
+                        produced=int(fields["produced"]),
+                        seconds=float(fields["seconds"]),
+                        index_lookups=int(fields["index_lookups"]),
+                        index_entries=int(fields["index_entries"]),
+                    )
+                    for op, fields in entry.get("operators", {}).items()
+                }
+            except (KeyError, TypeError, ValueError):
+                continue
+            key = self._keys.setdefault(
+                (index_name, executor, graph_version), _KeyProfile()
+            )
+            key.executions += executions
+            for op, observation in operators.items():
+                key.by_operator.setdefault(op, OperatorObservation()).merge(observation)
+            imported += executions
+        if imported and (
+            self._latest_version is None or graph_version > self._latest_version
+        ):
+            self._latest_version = graph_version
+        return imported
 
     # ------------------------------------------------------------------
     # Introspection

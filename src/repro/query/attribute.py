@@ -59,6 +59,12 @@ class AttributePredicate:
     def __setattr__(self, *args):  # pragma: no cover - immutability guard
         raise AttributeError("AttributePredicate is immutable")
 
+    def __reduce__(self):
+        # Default slot-state pickling restores through __setattr__, which
+        # the guard above rejects; rebuild through __init__ instead so
+        # predicates inside persisted plans survive the round trip.
+        return (type(self), (self.atoms,))
+
     # ------------------------------------------------------------------
     # Factories
     # ------------------------------------------------------------------

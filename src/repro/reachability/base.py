@@ -121,6 +121,16 @@ class GraphReachability:
         self.dag = Dag.from_condensation(self.condensation)
         self.index = index_factory(self.dag)
 
+    def __getstate__(self):
+        # The graph reference stays out of the pickle: persisting a
+        # private copy would double the warm-store artifact and desync
+        # from the live object.  Loaders (QuerySession rehydration)
+        # re-attach their graph; the index structures themselves only
+        # ever use the condensation arrays.
+        state = self.__dict__.copy()
+        state["graph"] = None
+        return state
+
     @property
     def counters(self) -> IndexCounters:
         return self.index.counters

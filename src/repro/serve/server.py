@@ -1,0 +1,294 @@
+"""Multi-worker query serving over one warmed store.
+
+See the package docstring for the model.  The implementation is a plain
+asyncio checkout queue over ``N`` independent :class:`QuerySession`
+workers: each worker owns its own caches and engines (no locks on the
+hot path), all warmed from the same :class:`~repro.store.ArtifactStore`,
+and evaluation runs in a thread pool so the event loop stays free to
+accept requests while Python executes query code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from ..engine.session import QuerySession
+from ..graph.digraph import DataGraph
+from ..store import ArtifactStore
+
+
+class StaleSnapshotError(RuntimeError):
+    """The graph mutated after the server pinned its snapshot.
+
+    Raised by :meth:`QueryServer.submit` instead of letting a request
+    race worker-by-worker cache invalidation (half the workers answering
+    from the old caches, half rebuilding).  Call
+    :meth:`QueryServer.refresh` to quiesce and re-pin.
+    """
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]).
+
+    Returns 0.0 on an empty sample set — latency reports stay
+    schema-stable even before the first request lands.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[min(int(rank), len(ordered)) - 1]
+
+
+class ServerStats:
+    """Request accounting of one :class:`QueryServer`."""
+
+    __slots__ = ("requests", "errors", "stale_rejections", "latencies")
+
+    def __init__(self):
+        self.requests = 0
+        self.errors = 0
+        self.stale_rejections = 0
+        #: per-request wall seconds (checkout wait + evaluation).
+        self.latencies: list[float] = []
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "stale_rejections": self.stale_rejections,
+            "p50_ms": round(percentile(self.latencies, 50) * 1000, 3),
+            "p99_ms": round(percentile(self.latencies, 99) * 1000, 3),
+        }
+
+
+class QueryServer:
+    """``N`` warmed :class:`QuerySession` workers behind an asyncio front.
+
+    Args:
+        graph: the data graph to serve.
+        workers: session-worker count (one request runs per worker at a
+            time; excess requests queue on the checkout).
+        store: shared warm store — an :class:`~repro.store.ArtifactStore`,
+            a directory path, or ``None`` for purely in-memory workers.
+            Every worker rehydrates from it at :meth:`start`.
+        index / codegen / adaptive: forwarded to each worker session.
+        seed_reports: optional path to bench reports
+            (``benchmarks/reports``) whose ``cost_profile`` snapshots
+            seed every worker's calibration.
+
+    Usage::
+
+        server = QueryServer(graph, workers=4, store="warm/")
+        await server.start()
+        results = await server.submit(query)
+        await server.stop()
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        *,
+        workers: int = 4,
+        store: ArtifactStore | str | os.PathLike | None = None,
+        index: str = "auto",
+        codegen: bool | str = False,
+        adaptive: bool = False,
+        seed_reports: str | os.PathLike | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.graph = graph
+        self.workers = workers
+        if store is None or isinstance(store, ArtifactStore):
+            self.store = store
+        else:
+            self.store = ArtifactStore(store)
+        self.index = index
+        self.codegen = codegen
+        self.adaptive = adaptive
+        self.seed_reports = seed_reports
+        self.stats = ServerStats()
+        self._sessions: list[QuerySession] = []
+        self._pool: asyncio.Queue[QuerySession] | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._pinned_version: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    async def start(self) -> None:
+        """Build and warm the worker pool; pins the graph snapshot."""
+        if self.started:
+            return
+        loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        # Workers build off the event loop so a slow cold start does not
+        # freeze an already-accepting front.
+        self._sessions = await loop.run_in_executor(self._executor, self._build_workers)
+        self._pool = asyncio.Queue()
+        for session in self._sessions:
+            self._pool.put_nowait(session)
+        self._pinned_version = self.graph.version
+
+    def _build_workers(self) -> list[QuerySession]:
+        sessions = []
+        for _ in range(self.workers):
+            session = QuerySession(
+                self.graph,
+                self.index,
+                codegen=self.codegen,
+                adaptive=self.adaptive,
+                store=self.store,
+            )
+            if self.seed_reports is not None:
+                session.seed_cost_profile(self.seed_reports)
+            # Touching the engine materializes the pooled reachability
+            # index now (rehydrated or built), not under the first request.
+            session.engine()
+            sessions.append(session)
+        return sessions
+
+    async def submit(self, query, group_nodes: Sequence[str] = ()):
+        """Evaluate ``query`` on the next free worker; returns its answer.
+
+        Raises :class:`StaleSnapshotError` when the graph has mutated
+        since the pinned snapshot, and re-raises evaluation errors after
+        returning the worker to the pool.
+        """
+        if not self.started:
+            raise RuntimeError("QueryServer.start() has not run")
+        if self.graph.version != self._pinned_version:
+            self.stats.stale_rejections += 1
+            raise StaleSnapshotError(
+                f"graph version {self.graph.version} != pinned {self._pinned_version}; "
+                "call refresh() to re-pin the snapshot"
+            )
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        session = await self._pool.get()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, session.evaluate, query, tuple(group_nodes)
+            )
+        except Exception:
+            self.stats.errors += 1
+            raise
+        finally:
+            self._pool.put_nowait(session)
+        self.stats.requests += 1
+        self.stats.latencies.append(time.perf_counter() - started)
+        return results
+
+    async def refresh(self) -> None:
+        """Quiesce every worker, then re-pin the current graph version.
+
+        Checking out all workers waits for in-flight requests to drain,
+        so no request ever straddles two snapshots; each worker's next
+        evaluation then detects the version change and rebuilds its own
+        caches lazily.
+        """
+        if not self.started:
+            raise RuntimeError("QueryServer.start() has not run")
+        drained = [await self._pool.get() for _ in range(self.workers)]
+        self._pinned_version = self.graph.version
+        for session in drained:
+            self._pool.put_nowait(session)
+
+    def persist(self) -> dict[str, int]:
+        """Publish the warmest worker's artifacts to the shared store.
+
+        Workers see identical traffic-shaped warm state only by accident,
+        so the one with the most plan-cache entries is chosen; artifacts
+        are content-keyed, making any worker's state safe to publish.
+        """
+        if self.store is None:
+            raise ValueError("server was created without store=; nothing to persist to")
+        if not self._sessions:
+            raise RuntimeError("QueryServer.start() has not run")
+        warmest = max(self._sessions, key=lambda s: len(s.plan_cache))
+        return warmest.persist()
+
+    async def stop(self) -> None:
+        """Release workers and the thread pool (idempotent)."""
+        for session in self._sessions:
+            session.close()
+        self._sessions = []
+        self._pool = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._pinned_version = None
+
+
+# ----------------------------------------------------------------------
+# TCP JSON-lines front
+# ----------------------------------------------------------------------
+def _render_results(results) -> list:
+    """A deterministic, JSON-safe rendering of one answer set.
+
+    Tuples become lists; grouped elements (frozensets) become sorted
+    lists; the outer list is sorted so two identical answer sets always
+    render byte-identically.
+    """
+
+    def render_element(element):
+        if isinstance(element, frozenset):
+            return sorted(element, key=repr)
+        return element
+
+    rendered = [
+        [render_element(e) for e in row] if isinstance(row, tuple) else row
+        for row in results
+    ]
+    return sorted(rendered, key=repr)
+
+
+async def _handle_connection(server: QueryServer, reader, writer) -> None:
+    while True:
+        line = await reader.readline()
+        if not line:
+            break
+        try:
+            payload = json.loads(line)
+            results = await server.submit(payload["query"], payload.get("group_nodes", ()))
+            response = {
+                "ok": True,
+                "count": len(results),
+                "results": _render_results(results),
+            }
+        except StaleSnapshotError as error:
+            response = {"ok": False, "stale": True, "error": str(error)}
+        except Exception as error:
+            response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        writer.write(json.dumps(response).encode("utf-8") + b"\n")
+        await writer.drain()
+    # No wait_closed(): the transport flushes on close, and awaiting it
+    # races server shutdown cancelling this handler task.
+    writer.close()
+
+
+async def serve_tcp(server: QueryServer, host: str = "127.0.0.1", port: int = 8765):
+    """Run ``server`` behind a newline-delimited-JSON TCP front.
+
+    Each request line is ``{"query": <dict|json string>, "group_nodes":
+    [...]}``; each response line carries ``ok``, ``count`` and the
+    deterministically rendered ``results`` (or ``error``).  Returns the
+    listening ``asyncio.Server``; callers own its lifetime.
+    """
+    if not server.started:
+        await server.start()
+
+    async def handler(reader, writer):
+        await _handle_connection(server, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)

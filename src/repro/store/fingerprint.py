@@ -1,0 +1,59 @@
+"""Graph content fingerprints — the persistence layer's store key.
+
+:attr:`repro.graph.digraph.DataGraph.version` is a *mutation counter*:
+it moves on ``add_node``/``add_edge`` but is blind to in-place edits of
+an attribute dictionary obtained from ``graph.attrs(v)`` (the gap the
+``QuerySession.invalidate`` docstring admits).  A persisted store keyed
+by version would therefore happily serve answers computed against the
+*pre-mutation* attributes — a silent wrong-answer bug once artifacts
+outlive the process.
+
+:func:`graph_fingerprint` closes that gap for the store: a SHA-256 over
+the full graph *content* — every node's attribute dictionary (keys and
+type-tagged values, so ``5`` and ``"5"`` hash apart, mirroring
+:func:`repro.query.serialize.predicate_key`) and the adjacency lists.
+Two graphs share a fingerprint iff they are content-identical, so any
+mutation — including an in-place attribute edit — lands store reads and
+writes in a different key and the stale artifacts are simply never
+found.
+
+The hash is O(nodes + edges) and deliberately **not** memoized: a memo
+invalidated by ``version`` would reintroduce exactly the blindness the
+fingerprint exists to fix.  Store operations (session start-up,
+``persist()``) are rare enough to recompute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..graph.digraph import DataGraph
+
+
+def _canonical_attrs(attrs: dict) -> list[tuple[str, str, str]]:
+    """Sorted, type-tagged attribute items (same tagging as predicate keys)."""
+    return sorted((str(key), type(value).__name__, repr(value)) for key, value in attrs.items())
+
+
+def graph_fingerprint(graph: DataGraph) -> str:
+    """SHA-256 hex digest of the full content of ``graph``.
+
+    Covers node count, every node's attribute dictionary and every
+    adjacency list (edge insertion order does not participate — parallel
+    edges are collapsed by the graph itself and target lists are sorted
+    here).  Stable across processes and across re-building the same
+    graph in a different node-id-preserving order of ``add_edge`` calls.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro-graph-v1\n")
+    digest.update(str(graph.num_nodes).encode("ascii") + b"\n")
+    # One repr() over the whole structure: the C-level renderer beats
+    # per-node serialization by a wide margin, and this runs on every
+    # session start-up.  Content is canonical (sorted, type-tagged), so
+    # the rendering choice only has to be deterministic.
+    content = [
+        (_canonical_attrs(graph.attrs(node)), sorted(graph.successors(node)))
+        for node in graph.nodes()
+    ]
+    digest.update(repr(content).encode("utf-8", "backslashreplace"))
+    return digest.hexdigest()

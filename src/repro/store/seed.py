@@ -1,0 +1,52 @@
+"""Seed a :class:`~repro.plan.feedback.CostProfile` from bench reports.
+
+Benchmark runs (``benchmarks/bench_serving.py``, ``repro-bench serving
+--json``) embed a ``"cost_profile"`` snapshot — the output of
+:meth:`CostProfile.export_state` — in their JSON reports.  A fresh
+process can fold those observations back in before its first query, so
+adaptive reordering and index preference start calibrated instead of
+spending ``MIN_SAMPLES`` queries warming up.  Malformed or unrelated
+JSON files are skipped silently: report seeding is an optimization and
+must never block a session from starting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..plan.feedback import CostProfile
+
+
+def seed_profile_from_reports(
+    profile: CostProfile, reports: str | os.PathLike, graph_version: int
+) -> int:
+    """Import every ``cost_profile`` snapshot under ``reports``.
+
+    ``reports`` may be a directory (every ``*.json`` inside is scanned,
+    sorted for determinism) or a single JSON file.  Returns the total
+    number of recorded executions folded into ``profile``; all
+    observations are re-keyed to ``graph_version`` (the importing
+    session's view of its graph).
+    """
+    root = Path(reports)
+    if root.is_dir():
+        candidates = sorted(root.glob("*.json"))
+    elif root.is_file():
+        candidates = [root]
+    else:
+        return 0
+    imported = 0
+    for path in candidates:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        state = payload.get("cost_profile")
+        if state is None:
+            continue
+        imported += profile.import_state(state, graph_version)
+    return imported

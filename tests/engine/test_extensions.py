@@ -106,6 +106,37 @@ class TestStatsShape:
         ) + stats.intermediate_tuples
         assert stats.intermediate_tuples == 0  # GTEA never builds tuples
 
+    def test_row_schema_is_fixed_regardless_of_which_features_fired(self):
+        """Regression: ``codegen_*`` (and other feature counters) used to
+        vanish from the row when all-zero, so report rows from a
+        codegen-off run could not be diffed column-wise against a
+        codegen-on run."""
+        from repro.engine.stats import EvaluationStats
+
+        zeros = EvaluationStats()
+        fired = EvaluationStats(
+            codegen_hits=3,
+            codegen_fallbacks=1,
+            parallel_workers=4,
+            parallel_shard_tasks=9,
+            batch_shared_subtrees=2,
+        )
+        assert set(zeros.row()) == set(fired.row())
+        for column in (
+            "codegen_hits",
+            "codegen_misses",
+            "codegen_fallbacks",
+            "workers",
+            "shard_tasks",
+            "shared_subtrees",
+            "cache_hits",
+            "cache_misses",
+            "prune_ops",
+        ):
+            assert zeros.row()[column] == 0
+        assert fired.row()["codegen_hits"] == 3
+        assert fired.row()["workers"] == 4
+
     def test_phase_timer_accumulates(self):
         from repro.engine.stats import EvaluationStats
 

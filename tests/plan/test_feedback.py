@@ -270,6 +270,61 @@ class TestSessionFeedback:
             session.resolved_index, graph.version
         ) is None
 
+    def test_compiled_runs_file_under_the_codegen_key(self):
+        # A specialized plan function skips the operator pipeline, so
+        # its timing is not an observation of the interpreted executor;
+        # it must land under "gtea-codegen", never "gtea".
+        graph = dag_graph()
+        session = QuerySession(graph, codegen="auto")
+        query = conjunctive_query()
+        answer, stats = session.evaluate_with_stats(query)
+        assert answer == evaluate_naive(query, graph)
+        assert stats.codegen_fallbacks == 0, "query should have compiled"
+        assert stats.codegen_hits + stats.codegen_misses == 1
+        snapshot = session.cost_profile.snapshot()
+        assert any("/gtea-codegen/" in key for key in snapshot)
+        assert not any("/gtea/" in key for key in snapshot)
+
+    def test_codegen_runs_never_calibrate_the_interpreted_arms(self):
+        """Regression: compiled timings used to pollute GTEA's rates.
+
+        A compiled run measures specialized code; folding it into the
+        interpreted executor's calibration skews every later
+        gtea-vs-twigstackd routing decision.  Like "gtea-parallel" and
+        "gtea-shared", the codegen key must stay out of executor_costs
+        and preferred_index.
+        """
+        graph = dag_graph()
+        interpreted = QuerySession(graph)
+        query = conjunctive_query()
+        for _ in range(MIN_SAMPLES):
+            interpreted.evaluate(query)
+            interpreted.result_cache.clear()
+        gtea_keys = {
+            key: value
+            for key, value in interpreted.cost_profile.snapshot().items()
+            if "/gtea/" in key
+        }
+        assert gtea_keys, "interpreted runs should calibrate the gtea arm"
+
+        # Feed the same profile a pile of absurdly fast compiled runs.
+        compiled = QuerySession(graph, codegen="auto")
+        compiled.cost_profile = interpreted.cost_profile
+        for _ in range(MIN_SAMPLES * 2):
+            compiled.evaluate(query)
+            compiled.result_cache.clear()
+        after = {
+            key: value
+            for key, value in compiled.cost_profile.snapshot().items()
+            if "/gtea/" in key
+        }
+        assert after == gtea_keys, (
+            "compiled executions must not move the interpreted estimates"
+        )
+        assert compiled.cost_profile.executor_costs(
+            compiled.resolved_index, graph.version
+        ) is None, "gtea-codegen must not feed executor calibration"
+
     def test_profile_survives_invalidation_but_is_version_scoped(self):
         graph = dag_graph()
         session = QuerySession(graph)

@@ -1,0 +1,209 @@
+"""The serving tier: worker pool, snapshot pinning, and the TCP front."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.engine import QuerySession
+from repro.graph import DataGraph
+from repro.query import (
+    AttributePredicate,
+    QueryBuilder,
+    evaluate_naive,
+    query_to_dict,
+)
+from repro.serve import (
+    QueryServer,
+    StaleSnapshotError,
+    percentile,
+    serve_tcp,
+)
+
+
+def serve_graph():
+    return DataGraph.from_edges("aabbcc", [(0, 2), (0, 3), (1, 3), (2, 4), (3, 5), (1, 2)])
+
+
+def serve_query(child_label="b"):
+    return (
+        QueryBuilder()
+        .backbone("root", predicate=AttributePredicate.label("a"))
+        .backbone("kid", parent="root", predicate=AttributePredicate.label(child_label))
+        .outputs("root", "kid")
+        .build()
+    )
+
+
+class TestPercentile:
+    def test_empty_samples_are_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_nearest_rank_on_ten_samples(self):
+        samples = [float(i) for i in range(1, 11)]
+        assert percentile(samples, 50) == 5.0
+        assert percentile(samples, 99) == 10.0
+        assert percentile(samples, 100) == 10.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == percentile([1.0, 2.0, 3.0], 50)
+
+
+class TestQueryServer:
+    def test_submit_matches_direct_session_and_oracle(self):
+        graph = serve_graph()
+        query = serve_query()
+        expected = QuerySession(graph).evaluate(query)
+        assert expected == evaluate_naive(query, graph)
+
+        async def run():
+            server = QueryServer(graph, workers=2)
+            await server.start()
+            try:
+                return await server.submit(query)
+            finally:
+                await server.stop()
+
+        assert asyncio.run(run()) == expected
+
+    def test_concurrent_burst_counts_every_request(self):
+        graph = serve_graph()
+        queries = [serve_query("b"), serve_query("c")]
+
+        async def run():
+            server = QueryServer(graph, workers=3)
+            await server.start()
+            answers = await asyncio.gather(*[server.submit(queries[i % 2]) for i in range(12)])
+            summary = server.stats.summary()
+            await server.stop()
+            return answers, summary
+
+        answers, summary = asyncio.run(run())
+        assert summary["requests"] == 12 and summary["errors"] == 0
+        for i, answer in enumerate(answers):
+            assert answer == evaluate_naive(queries[i % 2], graph)
+
+    def test_mutation_rejects_until_refresh(self):
+        graph = serve_graph()
+        query = serve_query()
+
+        async def run():
+            server = QueryServer(graph, workers=2)
+            await server.start()
+            before = await server.submit(query)
+            graph.add_node(label="a")  # bumps graph.version under the server
+            with pytest.raises(StaleSnapshotError):
+                await server.submit(query)
+            await server.refresh()
+            after = await server.submit(query)
+            stats = server.stats.summary()
+            await server.stop()
+            return before, after, stats
+
+        before, after, stats = asyncio.run(run())
+        assert stats["stale_rejections"] == 1
+        assert after == evaluate_naive(query, graph)
+        assert before <= after  # new 'a' node can only add matches
+
+    def test_evaluation_errors_are_counted_and_reraised(self):
+        graph = serve_graph()
+
+        async def run():
+            server = QueryServer(graph, workers=1)
+            await server.start()
+            with pytest.raises((TypeError, ValueError, KeyError)):
+                await server.submit(object())  # not a query in any accepted form
+            # The worker went back to the pool: the server still serves.
+            answer = await server.submit(serve_query())
+            errors = server.stats.errors
+            await server.stop()
+            return answer, errors
+
+        answer, errors = asyncio.run(run())
+        assert errors == 1
+        assert answer == evaluate_naive(serve_query(), graph)
+
+    def test_submit_before_start_raises(self):
+        async def run():
+            await QueryServer(serve_graph()).submit(serve_query())
+
+        with pytest.raises(RuntimeError):
+            asyncio.run(run())
+
+    def test_persist_requires_a_store(self):
+        async def run():
+            server = QueryServer(serve_graph())
+            await server.start()
+            try:
+                with pytest.raises(ValueError):
+                    server.persist()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_workers_share_the_store_and_persist_round_trips(self, tmp_path):
+        graph = serve_graph()
+        query = serve_query()
+
+        async def warm():
+            server = QueryServer(graph, workers=2, store=tmp_path / "store")
+            await server.start()
+            answer = await server.submit(query)
+            server.persist()
+            await server.stop()
+            return answer
+
+        answer = asyncio.run(warm())
+
+        async def restarted():
+            server = QueryServer(graph, workers=2, store=tmp_path / "store")
+            await server.start()
+            rehydrated = [
+                sum(session.store_rehydrated.values())
+                for session in server._sessions
+            ]
+            again = await server.submit(query)
+            await server.stop()
+            return rehydrated, again
+
+        rehydrated, again = asyncio.run(restarted())
+        assert again == answer
+        assert all(count > 0 for count in rehydrated), (
+            "every worker should rehydrate from the shared store"
+        )
+
+
+class TestTcpFront:
+    def test_round_trip_and_deterministic_rendering(self):
+        graph = serve_graph()
+        query = serve_query()
+        expected = evaluate_naive(query, graph)
+
+        async def run():
+            server = QueryServer(graph, workers=2)
+            tcp = await serve_tcp(server, host="127.0.0.1", port=0)
+            port = tcp.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            responses = []
+            for _ in range(2):  # same query twice: rendering must be stable
+                writer.write((json.dumps({"query": query_to_dict(query)}) + "\n").encode())
+                await writer.drain()
+                responses.append(json.loads(await reader.readline()))
+            writer.write(b'{"query": 17}\n')  # invalid → error response
+            await writer.drain()
+            responses.append(json.loads(await reader.readline()))
+            writer.close()
+            tcp.close()
+            await tcp.wait_closed()
+            await server.stop()
+            return responses
+
+        first, second, bad = asyncio.run(run())
+        assert first["ok"] and first["count"] == len(expected)
+        assert first == second, "identical answers must render byte-identically"
+        assert not bad["ok"] and "error" in bad

@@ -1,0 +1,243 @@
+"""ArtifactStore failure modes + the content-fingerprint store key.
+
+The store's contract is asymmetric: writes may fail loudly, but reads
+must *never* surface a damaged or stale artifact — every failure mode
+degrades to a cold build (``default``), so persistence can make answers
+slower but never wrong.  Each test here manufactures one concrete
+failure (truncation, bit flips, a foreign format revision, an artifact
+filed under the wrong graph or kind, writers racing on one key) and
+checks the read path rejects it, counts it, and cleans up.
+
+The fingerprint tests cover the PR's headline bug: ``DataGraph.version``
+is blind to in-place attribute mutation, so a version-keyed store would
+serve pre-mutation answers.  The content fingerprint must move when the
+version counter does not.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.engine import QuerySession
+from repro.graph import DataGraph
+from repro.query import AttributePredicate, QueryBuilder, evaluate_naive
+from repro.store import (
+    SESSION_KINDS,
+    STORE_FORMAT_VERSION,
+    ArtifactStore,
+    graph_fingerprint,
+)
+
+FP = "a" * 64  # any syntactically plausible fingerprint
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def saved(store, payload={"answer": 42}, fingerprint=FP, kind="plans"):
+    store.save(fingerprint, kind, payload)
+    return store.path(fingerprint, kind)
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, store):
+        payload = {"plans": [1, 2, 3], "nested": {"a": frozenset({1})}}
+        saved(store, payload)
+        assert store.load(FP, "plans") == payload
+        assert store.counters.hits == 1
+        assert store.counters.writes == 1
+
+    def test_missing_artifact_is_a_miss(self, store):
+        assert store.load(FP, "plans", default="cold") == "cold"
+        assert store.counters.misses == 1
+        assert store.counters.corrupt == 0
+
+    def test_no_temp_files_survive_a_save(self, store):
+        target = saved(store)
+        leftovers = [p for p in target.parent.iterdir() if p != target]
+        assert leftovers == []
+
+    def test_kinds_and_fingerprints_enumerate_content(self, store):
+        for kind in ("plans", "results"):
+            saved(store, kind=kind)
+        saved(store, fingerprint="b" * 64)
+        assert store.kinds(FP) == ["plans", "results"]
+        assert store.fingerprints() == [FP, "b" * 64]
+
+    def test_clear_removes_artifacts(self, store):
+        saved(store)
+        saved(store, fingerprint="b" * 64)
+        assert store.clear(FP) == 1
+        assert store.fingerprints() == ["b" * 64]
+        assert store.clear() == 1
+        assert store.fingerprints() == []
+
+
+class TestFailureModes:
+    """Every corruption degrades to ``default`` and removes the file."""
+
+    def assert_rejected(self, store, target, *, reason):
+        assert store.load(FP, "plans", default="cold") == "cold"
+        assert getattr(store.counters, reason) == 1
+        assert store.counters.misses == 1
+        assert not target.exists(), "damaged artifact should be cleaned up"
+
+    def test_truncated_payload_is_corrupt(self, store):
+        target = saved(store)
+        blob = target.read_bytes()
+        target.write_bytes(blob[: len(blob) - len(blob) // 3])
+        self.assert_rejected(store, target, reason="corrupt")
+
+    def test_truncated_before_header_is_corrupt(self, store):
+        target = saved(store)
+        target.write_bytes(target.read_bytes()[:4])
+        self.assert_rejected(store, target, reason="corrupt")
+
+    def test_flipped_payload_bytes_are_corrupt(self, store):
+        target = saved(store)
+        blob = bytearray(target.read_bytes())
+        blob[-5] ^= 0xFF  # damage the pickle, keep magic + header intact
+        target.write_bytes(bytes(blob))
+        self.assert_rejected(store, target, reason="corrupt")
+
+    def test_bad_magic_is_corrupt(self, store):
+        target = saved(store)
+        target.write_bytes(b"not-the-store\n" + target.read_bytes())
+        self.assert_rejected(store, target, reason="corrupt")
+
+    def test_unparseable_header_is_corrupt(self, store):
+        target = saved(store)
+        target.write_bytes(b"repro-store\n{oops\n")
+        self.assert_rejected(store, target, reason="corrupt")
+
+    def test_format_version_mismatch_is_stale(self, store):
+        target = saved(store)
+        blob = target.read_bytes()
+        future = str(STORE_FORMAT_VERSION).encode()
+        target.write_bytes(blob.replace(b'"format": ' + future, b'"format": 999', 1))
+        self.assert_rejected(store, target, reason="stale")
+
+    def test_wrong_fingerprint_directory_is_stale(self, store):
+        # An artifact copied under another graph's directory: the header
+        # still names the original fingerprint, so the read must reject.
+        source = saved(store, fingerprint="b" * 64)
+        target = store.path(FP, "plans")
+        target.parent.mkdir(parents=True)
+        target.write_bytes(source.read_bytes())
+        self.assert_rejected(store, target, reason="stale")
+
+    def test_wrong_kind_file_is_stale(self, store):
+        source = saved(store, kind="results")
+        target = store.path(FP, "plans")
+        target.write_bytes(source.read_bytes())
+        self.assert_rejected(store, target, reason="stale")
+
+    def test_unpicklable_payload_propagates_on_save(self, store):
+        with pytest.raises((pickle.PicklingError, TypeError, AttributeError)):
+            store.save(FP, "plans", lambda: None)
+        assert not store.path(FP, "plans").exists()
+        assert store.counters.writes == 0
+
+    def test_concurrent_writers_leave_one_complete_artifact(self, store):
+        # Many threads race save() on one key; atomic rename means the
+        # survivor is one *complete* artifact (some writer's payload,
+        # never an interleaving) and no temp files leak.
+        barrier = threading.Barrier(8)
+
+        def write(tag):
+            barrier.wait()
+            for round_ in range(5):
+                store.save(FP, "plans", {"writer": tag, "round": round_})
+
+        threads = [threading.Thread(target=write, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        value = store.load(FP, "plans")
+        assert value["writer"] in range(8) and value["round"] == 4
+        assert [p.name for p in store.path(FP, "plans").parent.iterdir()] == ["plans.artifact"]
+
+
+def two_label_graph():
+    return DataGraph.from_edges("aabb", [(0, 2), (1, 3), (0, 3)])
+
+
+def simple_query():
+    return (
+        QueryBuilder()
+        .backbone("root", predicate=AttributePredicate.label("a"))
+        .backbone("kid", parent="root", predicate=AttributePredicate.label("b"))
+        .outputs("root")
+        .build()
+    )
+
+
+class TestFingerprint:
+    def test_identical_content_identical_fingerprint(self):
+        assert graph_fingerprint(two_label_graph()) == graph_fingerprint(two_label_graph())
+
+    def test_edge_insertion_order_does_not_matter(self):
+        reordered = DataGraph.from_edges("aabb", [(0, 3), (1, 3), (0, 2)])
+        assert graph_fingerprint(two_label_graph()) == graph_fingerprint(reordered)
+
+    def test_attribute_values_are_type_tagged(self):
+        five = DataGraph.from_edges("a", [])
+        five.attrs(0)["x"] = 5
+        text = DataGraph.from_edges("a", [])
+        text.attrs(0)["x"] = "5"
+        assert graph_fingerprint(five) != graph_fingerprint(text)
+
+    def test_in_place_attribute_mutation_moves_the_fingerprint(self):
+        """The version counter misses this exact mutation; the key must not."""
+        graph = two_label_graph()
+        before_fp = graph_fingerprint(graph)
+        before_version = graph.version
+        graph.attrs(0)["price"] = 99  # in-place: invisible to .version
+        assert graph.version == before_version
+        assert graph_fingerprint(graph) != before_fp
+
+
+class TestSessionStoreKey:
+    def test_mutated_graph_never_hits_the_old_artifacts(self, tmp_path):
+        """Regression for the version-counter blindness bug.
+
+        A fresh process over a graph whose attributes were edited
+        in-place must MISS every persisted artifact (different content
+        fingerprint) and recompute the now-different answer, instead of
+        rehydrating pre-mutation caches.
+        """
+        graph = two_label_graph()
+        query = simple_query()
+        warm = QuerySession(graph, store=tmp_path / "store")
+        baseline = warm.evaluate(query)
+        assert baseline == evaluate_naive(query, graph)
+        warm.persist()
+        warm.close()
+
+        # Same store, but node 0's label flips under the version counter.
+        graph.attrs(0)["label"] = "z"
+        restarted = QuerySession(graph, store=tmp_path / "store")
+        assert sum(restarted.store_rehydrated.values()) == 0
+        assert restarted.evaluate(query) == evaluate_naive(query, graph)
+        assert restarted.evaluate(query) != baseline
+        restarted.close()
+
+    def test_unmutated_graph_rehydrates_and_answers_identically(self, tmp_path):
+        graph = two_label_graph()
+        query = simple_query()
+        warm = QuerySession(graph, store=tmp_path / "store")
+        baseline = warm.evaluate(query)
+        persisted = warm.persist()
+        assert set(persisted) <= set(SESSION_KINDS) | {"profile_keys"}
+        warm.close()
+
+        restarted = QuerySession(graph, store=tmp_path / "store")
+        assert sum(restarted.store_rehydrated.values()) > 0
+        assert restarted.evaluate(query) == baseline
+        info = restarted.cache_info()
+        assert info["store"]["rehydrated"] > 0
+        restarted.close()
