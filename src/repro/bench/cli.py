@@ -46,8 +46,8 @@ import time
 
 from ..datasets import (
     fig7_query,
+    funnel_workload,
     generate_xmark,
-    parallel_workload,
     random_labeled_graph,
     random_query_batch,
     skewed_workload,
@@ -286,7 +286,7 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     if args.floor_slack < 0.0:
         print("repro-bench: error: --floor-slack must be >= 0", file=sys.stderr)
         return 2
-    graph, queries = parallel_workload(
+    graph, queries = funnel_workload(
         scale=args.workload_scale, queries=args.queries, seed=args.seed
     )
     try:
@@ -298,14 +298,14 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         return 2
     if measurement.mismatches or measurement.survivor_mismatches:
         print(
-            "repro-bench: error: sharded and single-shard execution disagree "
+            "repro-bench: error: sharded and serial execution disagree "
             "(this is a bug — please report the seed)",
             file=sys.stderr,
         )
         return 1
     rows = measurement.rows()
     print(format_table(
-        f"Sharded prune execution ({len(queries)} funnel queries, "
+        f"Sharded pipeline, end to end ({len(queries)} funnel queries, "
         f"n={graph.num_nodes}, backend={measurement.backend}, "
         f"strategy={measurement.strategy})",
         list(rows[0]),
@@ -313,22 +313,75 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     ))
     top = max(workers)
     print(f"prune-phase speedup at {top} workers: {measurement.speedup(top):.2f}x")
+    print(f"end-to-end wall speedup at {top} workers: {measurement.wall_speedup(top):.2f}x")
     if args.enforce_floor:
-        # CI sanity floor: concurrency must not *cost* wall time beyond
-        # the slack — a loose bound that holds even on few-core runners
-        # where real speedup is unattainable.
-        base = next(p for p in measurement.points if p.workers == 1)
-        point = next(p for p in measurement.points if p.workers == top)
-        budget = base.wall_seconds * (1.0 + args.floor_slack)
-        if point.wall_seconds > budget:
+        if top >= 4 and _usable_cores() >= 4 and measurement.backend != "serial":
+            # Real-concurrency floor: on a >= 4-core runner with a real
+            # pool backend, the full sharded pipeline must clear an
+            # end-to-end wall speedup at the top worker count.
+            if measurement.wall_speedup(top) < args.floor:
+                print(
+                    f"repro-bench: error: end-to-end wall speedup at {top} "
+                    f"workers ({measurement.wall_speedup(top):.2f}x) is below "
+                    f"the {args.floor}x floor",
+                    file=sys.stderr,
+                )
+                return 1
+        else:
+            # Fallback sanity floor: where real speedup is unattainable
+            # (serial backend, few cores), concurrency must not *cost*
+            # wall time beyond the slack.
+            base = next(p for p in measurement.points if p.workers == 1)
+            point = next(p for p in measurement.points if p.workers == top)
+            budget = base.wall_seconds * (1.0 + args.floor_slack)
+            if point.wall_seconds > budget:
+                print(
+                    f"repro-bench: error: wall time at {top} workers "
+                    f"({point.wall_seconds * 1e3:.1f} ms) exceeds the "
+                    f"single-shard budget ({budget * 1e3:.1f} ms)",
+                    file=sys.stderr,
+                )
+                return 1
+        if not _steal_sanity(graph, queries, top, args.backend):
             print(
-                f"repro-bench: error: wall time at {top} workers "
-                f"({point.wall_seconds * 1e3:.1f} ms) exceeds the "
-                f"single-shard budget ({budget * 1e3:.1f} ms)",
+                "repro-bench: error: no steals observed with shards > workers "
+                "(the work-stealing deque is not draining)",
                 file=sys.stderr,
             )
             return 1
     return 0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _steal_sanity(graph, queries, workers: int, backend: str) -> bool:
+    """Do completions drain the pending deque when waves overflow?
+
+    With ``shards = 2 * workers`` every non-inline prune wave enqueues
+    more tasks than the in-flight cap, so ``parallel_steals`` must come
+    out positive — deterministically, on every backend including
+    ``"serial"``.
+    """
+    from ..engine import GTEA
+    from ..engine.parallel import ParallelExecutor
+
+    engine = GTEA(graph, index="auto")
+    steals = 0
+    executor = ParallelExecutor(
+        engine, workers, backend=backend, shards=workers * 2, min_shard_size=1
+    )
+    try:
+        for query in queries:
+            _, stats = executor.execute(engine.compile(query))
+            steals += stats.parallel_steals
+    finally:
+        executor.close()
+    return steals > 0
 
 
 def _restart_process(args: argparse.Namespace, store: str, *, persist: bool) -> dict:
@@ -533,10 +586,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="pool backend: auto, process, thread or serial "
                                "(default: auto)")
     parallel.add_argument("--enforce-floor", action="store_true",
-                          help="fail unless wall time at the top worker count "
-                               "stays within the single-shard budget")
+                          help="fail unless the end-to-end wall speedup at the "
+                               "top worker count reaches --floor (>= 4 cores "
+                               "and a real pool backend), or — where real "
+                               "speedup is unattainable — wall time stays "
+                               "within the single-shard budget; also runs the "
+                               "work-stealing sanity probe")
+    parallel.add_argument("--floor", type=float, default=1.5,
+                          help="end-to-end wall speedup floor for "
+                               "--enforce-floor (default 1.5)")
     parallel.add_argument("--floor-slack", type=float, default=0.25,
-                          help="budget slack for --enforce-floor (default 0.25)")
+                          help="budget slack for --enforce-floor on few-core "
+                               "or serial-backend runs (default 0.25)")
     parallel.set_defaults(func=_cmd_parallel)
 
     serving = subparsers.add_parser(

@@ -340,18 +340,24 @@ class ParallelScalePoint:
     workers: int
     prune_seconds: float  #: summed ``prune_downward`` phase time.
     wall_seconds: float  #: end-to-end workload wall time.
-    shard_tasks: int  #: pool tasks dispatched across the workload.
+    shard_tasks: int  #: downward pool tasks dispatched across the workload.
+    candidates_seconds: float = 0.0  #: summed ``candidates`` phase time.
+    upward_seconds: float = 0.0  #: summed ``prune_upward`` phase time.
+    upward_tasks: int = 0  #: upward pool tasks dispatched.
+    steals: int = 0  #: tasks drained from the pending deque by completions.
 
 
 @dataclass
 class ParallelMeasurement:
-    """Prune-phase scaling of the sharded executor on one workload.
+    """End-to-end scaling of the sharded executor on one workload.
 
     The same compiled plans run through a
     :class:`~repro.engine.parallel.ParallelExecutor` at each worker
-    count (shards = workers); answers are compared exactly against the
-    serial engine, and the per-node survivor sets of every worker count
-    are compared against the single-shard run — ``mismatches`` and
+    count (shards = workers) with the full sharded pipeline — sharded
+    downward *and* upward prune, overlapped candidate scan, work
+    stealing.  Every worker count is compared against the serial
+    engine: answers exactly, per-node survivor sets after both prune
+    phases, and the downward prune-op count — ``mismatches`` and
     ``survivor_mismatches`` must both be zero (the determinism contract
     of :mod:`repro.graph.partition`).
     """
@@ -369,17 +375,31 @@ class ParallelMeasurement:
         point = next(p for p in self.points if p.workers == workers)
         return base.prune_seconds / point.prune_seconds if point.prune_seconds else 0.0
 
+    def wall_speedup(self, workers: int) -> float:
+        """End-to-end wall speedup of ``workers`` over the 1-worker run."""
+        base = next(p for p in self.points if p.workers == 1)
+        point = next(p for p in self.points if p.workers == workers)
+        return base.wall_seconds / point.wall_seconds if point.wall_seconds else 0.0
+
     def rows(self) -> list[dict[str, float]]:
-        base = self.points[0].prune_seconds if self.points else 0.0
+        prune_base = self.points[0].prune_seconds if self.points else 0.0
+        wall_base = self.points[0].wall_seconds if self.points else 0.0
         return [
             {
                 "workers": point.workers,
+                "scan_ms": round(point.candidates_seconds * 1e3, 2),
                 "prune_ms": round(point.prune_seconds * 1e3, 2),
+                "upward_ms": round(point.upward_seconds * 1e3, 2),
                 "wall_ms": round(point.wall_seconds * 1e3, 2),
-                "speedup": round(base / point.prune_seconds, 3)
+                "speedup": round(prune_base / point.prune_seconds, 3)
                 if point.prune_seconds
                 else 0.0,
+                "wall_speedup": round(wall_base / point.wall_seconds, 3)
+                if point.wall_seconds
+                else 0.0,
                 "shard_tasks": point.shard_tasks,
+                "upward_tasks": point.upward_tasks,
+                "steals": point.steals,
             }
             for point in self.points
         ]
@@ -390,26 +410,36 @@ def measure_parallel(
     queries: list[GTPQ],
     worker_counts: tuple[int, ...] = (1, 2, 4),
     backend: str = "auto",
-    strategy: str = "range",
+    strategy: str = "hybrid",
 ) -> ParallelMeasurement:
-    """Sweep worker counts over ``queries`` with sharded execution.
+    """Sweep worker counts over ``queries`` with full sharded execution.
 
     Plans are compiled and the index is built outside every measured
     region; each worker count gets one unmeasured warmup pass (pool
     spin-up, worker-side query caches) before its timed pass.  The
-    ``"range"`` strategy is the default because it keeps each shard's
-    candidates on few 3-hop chains — hash sharding makes every shard
-    re-scan overlapping chain regions, which inflates total work.
+    ``"hybrid"`` strategy is the default: it keeps each shard's
+    candidates on few 3-hop chains (range routing, cheap chain scans)
+    unless a candidate set is skewed onto few ranges, where it balances
+    with hash routing instead.
     """
     from ..engine.parallel import ParallelExecutor
 
     engine = GTEA(graph, index="auto")
     engine.reachability  # build outside the measured regions
     plans = [engine.compile(query) for query in queries]
-    reference = [engine.execute(plan)[0] for plan in plans]
+    reference = []
+    for plan in plans:
+        results, stats = engine.execute(plan)
+        reference.append(
+            (
+                results,
+                dict(stats.candidates_after_downward),
+                dict(stats.candidates_after_upward),
+                stats.downward_prune_ops,
+            )
+        )
 
     mismatches = survivor_mismatches = 0
-    baseline_survivors: list[dict[str, int]] | None = None
     points: list[ParallelScalePoint] = []
     resolved_backend = backend
     for workers in worker_counts:
@@ -421,33 +451,26 @@ def measure_parallel(
             resolved_backend = executor.backend
             for plan in plans:  # warmup: pool spin-up, worker caches
                 executor.execute(plan)
-            survivors: list[dict[str, int]] = []
-            prune_seconds = 0.0
-            shard_tasks = 0
+            point = ParallelScalePoint(workers=workers, prune_seconds=0.0, wall_seconds=0.0, shard_tasks=0)
             started = time.perf_counter()
-            for plan, expected in zip(plans, reference):
+            for plan, (expected, down, up, prune_ops) in zip(plans, reference):
                 results, stats = executor.execute(plan)
                 mismatches += results != expected
-                survivors.append(dict(stats.candidates_after_downward))
-                prune_seconds += stats.phase_seconds.get("prune_downward", 0.0)
-                shard_tasks += stats.parallel_shard_tasks
-            wall_seconds = time.perf_counter() - started
+                survivor_mismatches += (
+                    dict(stats.candidates_after_downward) != down
+                    or dict(stats.candidates_after_upward) != up
+                    or stats.downward_prune_ops != prune_ops
+                )
+                point.candidates_seconds += stats.phase_seconds.get("candidates", 0.0)
+                point.prune_seconds += stats.phase_seconds.get("prune_downward", 0.0)
+                point.upward_seconds += stats.phase_seconds.get("prune_upward", 0.0)
+                point.shard_tasks += stats.parallel_shard_tasks
+                point.upward_tasks += stats.parallel_upward_tasks
+                point.steals += stats.parallel_steals
+            point.wall_seconds = time.perf_counter() - started
         finally:
             executor.close()
-        if baseline_survivors is None:
-            baseline_survivors = survivors
-        else:
-            survivor_mismatches += sum(
-                a != b for a, b in zip(baseline_survivors, survivors)
-            )
-        points.append(
-            ParallelScalePoint(
-                workers=workers,
-                prune_seconds=prune_seconds,
-                wall_seconds=wall_seconds,
-                shard_tasks=shard_tasks,
-            )
-        )
+        points.append(point)
     return ParallelMeasurement(
         queries=len(queries),
         backend=resolved_backend,

@@ -4,6 +4,7 @@ from .arxiv import ArxivGraph, generate_arxiv
 from .dblp import AUTHOR_POOL, DblpGraph, generate_dblp
 from .random_queries import (
     GeneratedQuery,
+    funnel_workload,
     generate_query_groups,
     parallel_graph,
     parallel_workload,
@@ -42,6 +43,7 @@ __all__ = [
     "exp2_query",
     "fig11_query",
     "fig7_query",
+    "funnel_workload",
     "generate_arxiv",
     "generate_dblp",
     "generate_query_groups",

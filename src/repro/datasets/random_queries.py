@@ -443,3 +443,52 @@ def parallel_workload(
         builder.outputs(*backbone[: 1 + (copy // 2) % 3])
         workload.append(builder.build())
     return graph, workload
+
+
+def funnel_workload(
+    scale: int = 4, queries: int = 6, seed: int = 47
+) -> tuple[DataGraph, list[GTPQ]]:
+    """A (graph, queries) pair exercising *every* sharded phase.
+
+    :func:`parallel_workload` funnels into the ``kind=1`` slice at the
+    *bottom* of the pattern, so its survivor sets — and with them the
+    whole upward/suffix half of the pipeline — stay tiny.  This variant
+    puts the slice in the *middle*::
+
+        a (label "a", broad)  -AD->  b (kind=1, tiny)  -AD->  c (label, broad)
+
+    with ``c`` as the output (plus ``a`` on alternating copies to vary
+    fingerprints):
+
+    * **downward** — ``c`` is a leaf (inline); ``b``'s visit is small;
+      ``a``'s visit valuates ~n/3 candidates against ``b``'s contour —
+      the sharded downward bulk;
+    * **upward** — the prime path re-refines ``b`` from ``a`` (small)
+      and then ``c`` from ``b``: ~n/3 surviving ``c`` candidates
+      checked against the successor contour — upward work of the same
+      order as the downward bulk, which only a sharded upward pass can
+      divide;
+    * **suffix** — the matching graph bridges through the tiny ``b``
+      set, so BuildMatchingGraph/CollectResults (always serial) stay a
+      small fraction even though the *result list* is broad.
+
+    End-to-end speedup on this workload therefore measures the whole
+    sharded pipeline, not just Procedure 6.
+    """
+    rng = random.Random(seed)
+    graph = parallel_graph(scale, rng)
+    # (head, tail) label pairs — every copy gets a distinct fingerprint;
+    # all labels are equally broad, so the shape's cost is unchanged.
+    label_pairs = [("a", "c"), ("a", "b"), ("b", "c"), ("b", "a"), ("c", "a"), ("c", "b")]
+    workload: list[GTPQ] = []
+    for copy in range(queries):
+        head, tail = label_pairs[copy % len(label_pairs)]
+        workload.append(
+            QueryBuilder()
+            .backbone("a", predicate=AttributePredicate.label(head))
+            .backbone("b", parent="a", predicate=AttributePredicate([("kind", "=", 1)]))
+            .backbone("c", parent="b", predicate=AttributePredicate.label(tail))
+            .outputs("c")
+            .build()
+        )
+    return graph, workload

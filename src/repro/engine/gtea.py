@@ -16,6 +16,13 @@ Evaluation runs in four explicit phases (see :mod:`repro.plan`):
    adaptive prune reordering (re-sorting the remaining downward
    obligations by actual post-prune set sizes mid-flight).
 
+:class:`repro.engine.parallel.ParallelExecutor` replaces phases of this
+driver with sharded pool execution — the candidate scan, the downward
+prune and the upward prune; BuildMatchingGraph and CollectResults (and
+the batch path's whole plan suffix) always run through the serial
+pipeline here, because the matching graph joins *across* the merged
+survivor sets and has no per-candidate independence to shard on.
+
 Usage::
 
     engine = GTEA(graph)                  # builds the 3-hop index once

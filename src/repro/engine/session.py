@@ -604,7 +604,26 @@ class QuerySession:
         rendered = plan.compiled.explain(observed=self._observed_ops.peek(plan.fingerprint))
         if self.codegen:
             rendered += "\n" + self._codegen_note(plan)
+        if self.parallel_options is not None:
+            rendered += "\n" + self._parallel_note(plan)
         return rendered
+
+    def _parallel_note(self, plan: QueryPlan) -> str:
+        """The ``[parallel]`` line of :meth:`explain` for one plan."""
+        options = self.parallel_options
+        if plan.compiled.physical.executor != "gtea":
+            return "[parallel] serial (plan not routed to the GTEA executor)"
+        phases = ["downward"] + (["upward"] if options.upward else [])
+        extras = [f"strategy={options.strategy}"]
+        if options.overlap_scan:
+            extras.append("overlap-scan")
+        if options.steal:
+            extras.append("steal")
+        return (
+            f"[parallel] {'+'.join(phases)} sharded across "
+            f"{options.workers} workers ({options.backend} backend, "
+            f"{', '.join(extras)})"
+        )
 
     def _codegen_note(self, plan: QueryPlan) -> str:
         """The ``[codegen]`` line of :meth:`explain` for one plan."""
@@ -798,22 +817,43 @@ class QuerySession:
         synthetic record bypasses :meth:`_record_feedback` so the
         ``explain()`` estimated-vs-observed view keeps showing genuine
         interpreted operator stats only.
+
+        Alongside the whole-execution record, the compiled prune loop's
+        wall time (the ``prune_downward`` phase the generated function
+        books) files as a ``CodegenPrune`` record — so the profile
+        snapshot can compare the specialized loop against the
+        interpreted ``DownwardPrune`` arm per phase, not just end to
+        end.
         """
+        records = [
+            OperatorStats(
+                op="CodegenExecute",
+                target=None,
+                input_size=stats.input_nodes,
+                output_size=stats.result_count,
+                seconds=elapsed,
+                index_lookups=stats.index_lookups,
+                index_entries=stats.index_entries,
+            )
+        ]
+        prune_seconds = stats.phase_seconds.get("prune_downward")
+        if prune_seconds is not None:
+            records.append(
+                OperatorStats(
+                    op="CodegenPrune",
+                    target=None,
+                    input_size=stats.input_nodes,
+                    output_size=sum(stats.candidates_after_downward.values()),
+                    seconds=prune_seconds,
+                    index_lookups=0,
+                    index_entries=0,
+                )
+            )
         self.cost_profile.record(
             index_name=plan.compiled.physical.index_name,
             executor="gtea-codegen",
             graph_version=self._graph_version,
-            operator_stats=[
-                OperatorStats(
-                    op="CodegenExecute",
-                    target=None,
-                    input_size=stats.input_nodes,
-                    output_size=stats.result_count,
-                    seconds=elapsed,
-                    index_lookups=stats.index_lookups,
-                    index_entries=stats.index_entries,
-                )
-            ],
+            operator_stats=records,
         )
 
     def _codegen_entry(self, plan: QueryPlan) -> tuple[object, bool]:

@@ -90,6 +90,14 @@ class EvaluationStats:
     #: downward-prune shard tasks dispatched to the worker pool (inline
     #: leaf/empty refinements in the driver are not counted).
     parallel_shard_tasks: int = 0
+    #: upward-prune shard tasks dispatched to the worker pool (inline
+    #: refinements of small candidate sets are not counted).
+    parallel_upward_tasks: int = 0
+    #: shard tasks drained from the shared pending deque by a completion
+    #: (a worker went idle and stole queued work) rather than submitted
+    #: in a wave's initial pool fill.  Zero when stealing is off or no
+    #: wave ever overflowed the pool.
+    parallel_steals: int = 0
     #: shard tasks completed per worker, keyed by a per-execution label
     #: (``"w0"``, ``"w1"``, ... in order of first completion).
     parallel_worker_tasks: dict[str, int] = field(default_factory=dict)
@@ -172,6 +180,8 @@ class EvaluationStats:
         self.codegen_fallbacks += other.codegen_fallbacks
         self.parallel_workers = max(self.parallel_workers, other.parallel_workers)
         self.parallel_shard_tasks += other.parallel_shard_tasks
+        self.parallel_upward_tasks += other.parallel_upward_tasks
+        self.parallel_steals += other.parallel_steals
         for worker, tasks in other.parallel_worker_tasks.items():
             self.parallel_worker_tasks[worker] = (
                 self.parallel_worker_tasks.get(worker, 0) + tasks
@@ -210,6 +220,8 @@ class EvaluationStats:
             "shared_subtrees": self.batch_shared_subtrees,
             "workers": self.parallel_workers,
             "shard_tasks": self.parallel_shard_tasks,
+            "upward_tasks": self.parallel_upward_tasks,
+            "steals": self.parallel_steals,
             "codegen_hits": self.codegen_hits,
             "codegen_misses": self.codegen_misses,
             "codegen_fallbacks": self.codegen_fallbacks,

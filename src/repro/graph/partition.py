@@ -6,21 +6,29 @@ candidate set can be split across shards, refined concurrently, and the
 shard survivor sets merged before the upward pass — the sharding seam
 the parallel executor of :mod:`repro.engine.parallel` exploits.
 
-Two routing strategies:
+Three routing strategies:
 
-* ``"hash"`` (default) — shard by ``node_id % num_shards``.  Balances
-  skewed candidate sets (e.g. all candidates drawn from one label's
-  contiguous posting range) without knowing the graph size.
+* ``"hash"`` — shard by ``node_id % num_shards``.  Balances skewed
+  candidate sets (e.g. all candidates drawn from one label's contiguous
+  posting range) without knowing the graph size, but scatters chain
+  neighbours, so every shard re-scans overlapping 3-hop chain regions
+  (mitigated by :class:`ContourProbeCache` below).
 * ``"range"`` — contiguous node-id ranges of width
   ``ceil(num_nodes / num_shards)``.  Keeps shard members adjacent in
   node-id order, which clusters them on few 3-hop chains (cheaper chain
   scans per shard) at the price of balance on skewed sets.
+* ``"hybrid"`` — decides per candidate set: :meth:`GraphPartition.route_for`
+  measures how the set would land across the range shards and keeps
+  ``"range"`` (chain locality) unless the largest shard exceeds
+  :data:`HYBRID_SKEW_THRESHOLD` times the ideal share, in which case the
+  set is skewed onto few ranges and ``"hash"`` balances it instead.
 
 Determinism contract: :meth:`GraphPartition.split` preserves the input
 order inside each shard, and :func:`merge_survivors` sorts the merged
 output by node id — so a sharded run produces byte-identical survivor
 sets to a single-shard run regardless of shard count, routing strategy,
-or the order shards complete in.
+or the order shards complete in.  (Hybrid routing is a pure function of
+the candidate set, so it is deterministic too.)
 """
 
 from __future__ import annotations
@@ -30,7 +38,11 @@ from typing import Iterable, Sequence
 from .digraph import DataGraph
 
 #: routing strategies :class:`GraphPartition` accepts.
-STRATEGIES = ("hash", "range")
+STRATEGIES = ("hash", "range", "hybrid")
+
+#: ``"hybrid"`` keeps range routing until the largest range shard holds
+#: more than this multiple of the ideal per-shard share.
+HYBRID_SKEW_THRESHOLD = 2.0
 
 
 class GraphPartition:
@@ -50,27 +62,60 @@ class GraphPartition:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if strategy not in STRATEGIES:
-            raise ValueError(f"unknown partition strategy {strategy!r}; expected one of {STRATEGIES}")
-        if strategy == "range" and (num_nodes is None or num_nodes < 1):
-            raise ValueError("the 'range' strategy needs num_nodes >= 1")
+            raise ValueError(
+                f"unknown partition strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if strategy in ("range", "hybrid") and (num_nodes is None or num_nodes < 1):
+            raise ValueError(f"the {strategy!r} strategy needs num_nodes >= 1")
         self.num_shards = num_shards
         self.strategy = strategy
         self.num_nodes = num_nodes
 
     @classmethod
-    def for_graph(cls, graph: DataGraph, num_shards: int, strategy: str = "hash") -> "GraphPartition":
+    def for_graph(
+        cls, graph: DataGraph, num_shards: int, strategy: str = "hash"
+    ) -> "GraphPartition":
         """A partition sized for ``graph`` (single-node graphs included)."""
         return cls(num_shards, strategy=strategy, num_nodes=max(1, graph.num_nodes))
 
-    def shard_of(self, node: int, num_shards: int | None = None) -> int:
-        """The shard ``node`` routes to, under ``num_shards`` shards."""
+    def shard_of(
+        self, node: int, num_shards: int | None = None, strategy: str | None = None
+    ) -> int:
+        """The shard ``node`` routes to, under ``num_shards`` shards.
+
+        ``"hybrid"`` has no per-node answer without a candidate set to
+        observe — a bare lookup routes like ``"range"`` (its preferred
+        mode); :meth:`split` applies the per-set decision.
+        """
         shards = self.num_shards if num_shards is None else num_shards
         if shards <= 1:
             return 0
-        if self.strategy == "hash":
+        if (strategy or self.strategy) == "hash":
             return node % shards
         span = -(-self.num_nodes // shards)  # ceil division
         return min(node // span, shards - 1)
+
+    def route_for(self, candidates: Sequence[int], num_shards: int | None = None) -> str:
+        """The concrete strategy one candidate set splits under.
+
+        For ``"hash"`` and ``"range"`` this is the configured strategy.
+        ``"hybrid"`` observes the set's skew across the range shards:
+        it keeps ``"range"`` (chain-local scans) unless the largest
+        range shard would exceed :data:`HYBRID_SKEW_THRESHOLD` times the
+        ideal ``len(candidates) / num_shards`` share, and balances with
+        ``"hash"`` otherwise.  Pure in the candidate set, so sharded
+        runs stay deterministic.
+        """
+        if self.strategy != "hybrid":
+            return self.strategy
+        shards = self.num_shards if num_shards is None else num_shards
+        if shards <= 1 or not candidates:
+            return "range"
+        counts = [0] * shards
+        for node in candidates:
+            counts[self.shard_of(node, shards, "range")] += 1
+        ideal = len(candidates) / shards
+        return "hash" if max(counts) > HYBRID_SKEW_THRESHOLD * ideal else "range"
 
     def split(self, candidates: Sequence[int], num_shards: int | None = None) -> list[list[int]]:
         """Split ``candidates`` into shard lists (some may be empty).
@@ -82,10 +127,15 @@ class GraphPartition:
         shards = self.num_shards if num_shards is None else num_shards
         if shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {shards}")
+        strategy = self.route_for(candidates, shards)
         parts: list[list[int]] = [[] for _ in range(shards)]
         for node in candidates:
-            parts[self.shard_of(node, shards)].append(node)
+            parts[self.shard_of(node, shards, strategy)].append(node)
         return parts
+
+    def wave_cache(self) -> "ContourProbeCache":
+        """A fresh :class:`ContourProbeCache` for one shard wave."""
+        return ContourProbeCache()
 
 
 def merge_survivors(shard_results: Iterable[Sequence[int]]) -> list[int]:
@@ -102,3 +152,59 @@ def merge_survivors(shard_results: Iterable[Sequence[int]]) -> list[int]:
         merged.extend(survivors)
     merged.sort()
     return merged
+
+
+class ContourProbeCache:
+    """Shares 3-hop chain scans between the shards of one prune wave.
+
+    Hash routing balances a skewed candidate set but scatters chain
+    neighbours across shards, so every shard re-walks the same chain
+    regions of the index against the same child contours.  The downward
+    valuation at a component is a pure function of (chain, sequence
+    number, child contours): it reflects exactly the ``Lout`` entries of
+    the chain region at-or-below that sequence number.  One cache
+    instance therefore lives for exactly one wave — one query node's
+    dispatch, where the child contours are fixed — and shards record
+    per-component valuation snapshots other shards resume from instead
+    of re-scanning the region a sibling already covered.
+
+    Entries are immutable once published (writers snapshot, readers
+    copy), and the dict/list operations are atomic under the GIL, so the
+    thread backend shares one instance without locking; a lost race
+    costs a duplicate scan, never a wrong bit.  The process backend
+    cannot share driver memory and passes no cache.  Cached bits are
+    value-identical to freshly computed ones, so survivor sets stay
+    byte-identical with or without the cache — only the
+    ``entries_scanned`` counter (legitimately) drops.
+    """
+
+    __slots__ = ("_snapshots", "hits", "misses")
+
+    def __init__(self):
+        #: chain -> list of (sid, valuation snapshot), append-only.
+        self._snapshots: dict[int, list[tuple[int, dict]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def seed(self, chain: int, sid: int) -> tuple[int, dict] | None:
+        """Best snapshot to resume from for a component at ``sid``.
+
+        A snapshot taken at sequence number ``s`` covers the chain
+        region with sequence numbers ``>= s``; it seeds a component at
+        ``sid`` only when ``s >= sid`` (a deeper snapshot would carry
+        bits the shallower component is not entitled to).  Among the
+        valid snapshots the lowest ``s`` covers the most.
+        """
+        best: tuple[int, dict] | None = None
+        for snap_sid, valuation in self._snapshots.get(chain, ()):
+            if snap_sid >= sid and (best is None or snap_sid < best[0]):
+                best = (snap_sid, valuation)
+        if best is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return best
+
+    def publish(self, chain: int, sid: int, valuation: dict) -> None:
+        """Record the (pre-cyclic-adjust) valuation scanned down to ``sid``."""
+        self._snapshots.setdefault(chain, []).append((sid, dict(valuation)))

@@ -34,13 +34,20 @@ warm subtree cache leaves those executions with suffix-only operator
 records whose seconds have no matching candidate volume), the sharded
 pool driver ("gtea-parallel" — also excluded: its wall times include
 pool scheduling and, per shard, repeated chain scans, neither of which
-the serial cost model prices), or a specialized compiled function
-("gtea-codegen" — also excluded: its seconds describe the generated
-loop, not the interpreted arm the executor inequality compares, so
-folding them into "gtea" would silently deflate the interpreted
-seconds-per-element).  The calibration consultations below match the
-"gtea" and "twigstackd" keys *exactly*; every tagged variant is visible
-in :meth:`CostProfile.snapshot` but never steers the planner.
+the serial cost model prices; the driver files one operator record per
+phase — overlapped ``CandidateScan``, per-node ``DownwardPrune``,
+sharded ``UpwardPrune``, the serial suffix — so the key's
+``by_operator`` breakdown *is* the per-phase split of the parallel
+run), or a specialized compiled function ("gtea-codegen" — also
+excluded: its seconds describe the generated loop, not the interpreted
+arm the executor inequality compares, so folding them into "gtea"
+would silently deflate the interpreted seconds-per-element; alongside
+the whole-plan ``CodegenExecute`` record, the compiled prune loop's
+wall time files as ``CodegenPrune``, isolating the specialized loop
+from result collection in the snapshot).  The calibration
+consultations below match the "gtea" and "twigstackd" keys *exactly*;
+every tagged variant is visible in :meth:`CostProfile.snapshot` but
+never steers the planner.
 
 Profiles also round-trip through the warm store
 (:mod:`repro.store`): :meth:`CostProfile.export_state` emits a

@@ -58,7 +58,7 @@ SESSION_KINDS = (
 class StoreCounters:
     """Mutable counters of one store's activity."""
 
-    __slots__ = ("hits", "misses", "stale", "corrupt", "writes")
+    __slots__ = ("hits", "misses", "stale", "corrupt", "writes", "evictions")
 
     def __init__(self):
         self.hits = 0
@@ -66,6 +66,7 @@ class StoreCounters:
         self.stale = 0  #: header present but format/fingerprint/kind mismatched
         self.corrupt = 0  #: unreadable magic/header/payload
         self.writes = 0
+        self.evictions = 0  #: artifacts removed by :meth:`ArtifactStore.prune`
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -74,12 +75,14 @@ class StoreCounters:
             "stale": self.stale,
             "corrupt": self.corrupt,
             "writes": self.writes,
+            "evictions": self.evictions,
         }
 
     def __repr__(self) -> str:
         return (
             f"StoreCounters(hits={self.hits}, misses={self.misses}, "
-            f"stale={self.stale}, corrupt={self.corrupt}, writes={self.writes})"
+            f"stale={self.stale}, corrupt={self.corrupt}, writes={self.writes}, "
+            f"evictions={self.evictions})"
         )
 
 
@@ -217,6 +220,47 @@ class ArtifactStore:
             except OSError:
                 pass
         return removed
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used artifacts until the store fits.
+
+        Artifacts are removed oldest-mtime-first (loads never rewrite a
+        file, so mtime is last *write*; a long-lived store evicts what
+        stopped being refreshed) until the summed artifact sizes are at
+        most ``max_bytes``.  Whole files are evicted — never truncated —
+        so readers keep their all-or-nothing guarantee; emptied
+        fingerprint directories are removed.  Returns how many artifacts
+        were evicted, mirrored in ``counters.evictions``.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries: list[tuple[float, int, Path]] = []
+        for fingerprint in self.fingerprints():
+            for kind in self.kinds(fingerprint):
+                target = self.path(fingerprint, kind)
+                try:
+                    meta = target.stat()
+                except OSError:
+                    continue
+                entries.append((meta.st_mtime, meta.st_size, target))
+        total = sum(size for _, size, _ in entries)
+        entries.sort(key=lambda entry: (entry[0], entry[2]))  # oldest first
+        evicted = 0
+        for _, size, target in entries:
+            if total <= max_bytes:
+                break
+            try:
+                target.unlink()
+            except OSError:
+                continue  # racing reader already rejected/removed it
+            total -= size
+            evicted += 1
+            try:
+                target.parent.rmdir()
+            except OSError:
+                pass  # directory not empty (or already gone)
+        self.counters.evictions += evicted
+        return evicted
 
     def __repr__(self) -> str:
         return f"ArtifactStore(root={str(self.root)!r})"

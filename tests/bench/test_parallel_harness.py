@@ -9,7 +9,7 @@ parallel`` subcommand stay covered by the default suite.  The
 
 from repro.bench import measure_parallel
 from repro.bench.cli import main as bench_main
-from repro.datasets import parallel_workload
+from repro.datasets import funnel_workload, parallel_workload
 from repro.query import query_fingerprint
 
 
@@ -24,18 +24,40 @@ class TestMeasureParallel:
         assert measurement.queries == len(queries)
         assert measurement.backend == "serial"
         assert measurement.speedup(1) == 1.0
+        assert measurement.wall_speedup(1) == 1.0
         rows = measurement.rows()
         assert [row["workers"] for row in rows] == [1, 2]
         # Two shards per node-with-enough-candidates: the sharded point
         # must dispatch strictly more pool tasks than the baseline.
         assert rows[1]["shard_tasks"] > rows[0]["shard_tasks"]
 
-    def test_funnel_workload_is_deterministic(self):
+    def test_end_to_end_funnel_exercises_every_sharded_phase(self):
+        # The middle-funnel workload must drive the sharded upward pass
+        # and report per-phase wall times in every row.
+        graph, queries = funnel_workload(scale=1, queries=2)
+        measurement = measure_parallel(
+            graph, queries, worker_counts=(1, 2), backend="serial"
+        )
+        assert measurement.mismatches == 0
+        assert measurement.survivor_mismatches == 0
+        for row in measurement.rows():
+            assert row["upward_tasks"] > 0
+            assert row["wall_ms"] >= row["prune_ms"] >= 0
+            assert {"scan_ms", "upward_ms", "wall_speedup", "steals"} <= set(row)
+
+    def test_funnel_workloads_are_deterministic(self):
         _, first = parallel_workload(scale=1, queries=3, seed=9)
         _, second = parallel_workload(scale=1, queries=3, seed=9)
         assert [query_fingerprint(q) for q in first] == [
             query_fingerprint(q) for q in second
         ]
+        _, first = funnel_workload(scale=1, queries=6, seed=9)
+        _, second = funnel_workload(scale=1, queries=6, seed=9)
+        prints = [query_fingerprint(q) for q in first]
+        assert prints == [query_fingerprint(q) for q in second]
+        # Every copy gets a distinct fingerprint (distinct label pairs),
+        # so the sweep never collapses into plan-cache hits.
+        assert len(set(prints)) == len(prints)
 
 
 class TestParallelCli:
@@ -56,8 +78,33 @@ class TestParallelCli:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "Sharded prune execution" in out
+        assert "Sharded pipeline, end to end" in out
         assert "prune-phase speedup at 2 workers" in out
+        assert "end-to-end wall speedup at 2 workers" in out
+
+    def test_parallel_subcommand_enforces_floor_on_serial_backend(self, capsys):
+        # On a serial backend (and few-core runners) --enforce-floor
+        # falls back to the bounded-overhead budget plus the stealing
+        # sanity probe; a generous slack must pass.
+        code = bench_main(
+            [
+                "parallel",
+                "--workload-scale",
+                "1",
+                "--queries",
+                "2",
+                "--workers",
+                "1",
+                "2",
+                "--backend",
+                "serial",
+                "--enforce-floor",
+                "--floor-slack",
+                "5.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
 
     def test_parallel_subcommand_rejects_bad_scale(self, capsys):
         code = bench_main(["parallel", "--workload-scale", "0"])

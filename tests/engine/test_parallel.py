@@ -64,13 +64,30 @@ class TestOptions:
 
     def test_from_options_applies_every_field(self):
         options = ParallelOptions(
-            workers=5, backend="serial", shards=2, strategy="range", min_shard_size=4
+            workers=5,
+            backend="serial",
+            shards=2,
+            strategy="range",
+            min_shard_size=4,
+            upward=False,
+            overlap_scan=False,
+            steal=False,
         )
         executor = ParallelExecutor.from_options(GTEA(small_graph()), options)
         assert executor.workers == 5
         assert executor.backend == "serial"
         assert executor.num_shards == 2
         assert executor.min_shard_size == 4
+        assert executor.upward is False
+        assert executor.overlap_scan is False
+        assert executor.steal is False
+
+    def test_full_pipeline_knobs_default_on(self):
+        executor = ParallelExecutor(GTEA(small_graph()), 2, backend="serial")
+        assert executor.upward is True
+        assert executor.overlap_scan is True
+        assert executor.steal is True
+        assert executor._partition.strategy == "hybrid"
 
 
 class TestSingleQueryExecution:
@@ -112,7 +129,9 @@ class TestSingleQueryExecution:
         ) as executor:
             answer, stats = executor.execute(plan)
         assert answer == expected
-        assert sum(stats.parallel_worker_tasks.values()) == stats.parallel_shard_tasks
+        assert sum(stats.parallel_worker_tasks.values()) == (
+            stats.parallel_shard_tasks + stats.parallel_upward_tasks
+        )
 
     @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
     def test_process_backend_matches(self):
@@ -126,7 +145,9 @@ class TestSingleQueryExecution:
         ) as executor:
             answer, stats = executor.execute(plan)
         assert answer == expected
-        assert sum(stats.parallel_worker_tasks.values()) == stats.parallel_shard_tasks
+        assert sum(stats.parallel_worker_tasks.values()) == (
+            stats.parallel_shard_tasks + stats.parallel_upward_tasks
+        )
 
     def test_worker_labels_are_normalized(self):
         engine = GTEA(small_graph())
@@ -134,7 +155,9 @@ class TestSingleQueryExecution:
             _, stats = executor.execute(engine.compile(query_abc()))
         # The serial backend runs every task inline under one label.
         assert set(stats.parallel_worker_tasks) == {"w0"}
-        assert stats.parallel_worker_tasks["w0"] == stats.parallel_shard_tasks
+        assert stats.parallel_worker_tasks["w0"] == (
+            stats.parallel_shard_tasks + stats.parallel_upward_tasks
+        )
 
     def test_stats_row_surfaces_parallel_counters(self):
         engine = GTEA(small_graph())
@@ -143,6 +166,8 @@ class TestSingleQueryExecution:
         row = stats.row()
         assert row["workers"] == 3
         assert row["shard_tasks"] == stats.parallel_shard_tasks
+        assert row["upward_tasks"] == stats.parallel_upward_tasks
+        assert row["steals"] == stats.parallel_steals
 
     def test_operator_stats_carry_parallel_notes(self):
         engine = GTEA(small_graph())
@@ -177,6 +202,64 @@ class TestSingleQueryExecution:
         )
         # "r" was never pruned — the early exit saved its visit.
         assert stats.downward_prune_ops == 1
+
+    def test_empty_root_scan_short_circuits_under_overlap(self):
+        # No "z" roots exist: the overlapped scan materializes the root
+        # first and finishes before any prune wave is dispatched.
+        query = (
+            QueryBuilder()
+            .backbone("r", predicate=AttributePredicate.label("z"))
+            .backbone("x", parent="r", predicate=AttributePredicate.label("b"))
+            .outputs("r")
+            .build()
+        )
+        engine = GTEA(small_graph())
+        plan = engine.compile(query)
+        expected, _ = engine.execute(plan)
+        with serial_executor(engine) as executor:
+            answer, stats = executor.execute(plan)
+        assert answer == expected and len(answer) == 0
+        assert stats.parallel_shard_tasks == 0
+        assert stats.downward_prune_ops == 0
+        # The overlapped scan still books its synthesized operator record.
+        assert stats.operator_stats[0].op == "CandidateScan"
+        assert stats.operator_stats[0].note == "parallel overlap"
+
+    def test_sharded_upward_matches_the_serial_upward_operator(self):
+        # The same plan, once with the sharded upward frontier and once
+        # falling back to the serial UpwardPrune operator: identical
+        # answers and upward survivor sets, and only the sharded run
+        # dispatches upward tasks.
+        rng = random.Random(5)
+        graph = random_labeled_graph(60, rng)
+        engine = GTEA(graph)
+        for query in random_query_batch(graph, rng, batch_size=4):
+            plan = engine.compile(query)
+            if plan.physical.executor != "gtea":
+                continue
+            with serial_executor(engine) as sharded:
+                answer, stats = sharded.execute(plan)
+            with serial_executor(
+                engine, upward=False, overlap_scan=False, steal=False
+            ) as fallback:
+                base_answer, base_stats = fallback.execute(plan)
+            assert answer == base_answer
+            assert stats.candidates_after_upward == base_stats.candidates_after_upward
+            assert base_stats.parallel_upward_tasks == 0
+
+    def test_steals_occur_when_shards_overflow_the_workers(self):
+        # Four shards over two workers: every multi-shard wave queues
+        # more tasks than the in-flight cap, so completions must steal.
+        rng = random.Random(7)
+        graph = random_labeled_graph(60, rng)
+        engine = GTEA(graph)
+        plan = engine.compile(query_abc())
+        with serial_executor(engine, workers=2, shards=4) as executor:
+            _, stats = executor.execute(plan)
+        assert stats.parallel_steals > 0
+        with serial_executor(engine, workers=2, shards=4, steal=False) as executor:
+            _, stats = executor.execute(plan)
+        assert stats.parallel_steals == 0
 
 
 class TestDelegation:
@@ -301,3 +384,41 @@ class TestSessionIntegration:
         assert (
             sharded.stats.downward_prune_ops == single.stats.downward_prune_ops
         )
+
+    def test_explain_notes_the_parallel_route(self):
+        session = QuerySession(
+            small_graph(),
+            parallel=ParallelOptions(workers=4, backend="serial"),
+        )
+        text = session.explain(query_abc())
+        assert "[parallel] downward+upward sharded across 4 workers" in text
+        assert "strategy=hybrid" in text
+        assert "overlap-scan" in text
+        assert "steal" in text
+
+    def test_explain_notes_disabled_phases(self):
+        session = QuerySession(
+            small_graph(),
+            parallel=ParallelOptions(
+                workers=2, backend="serial", upward=False, overlap_scan=False, steal=False
+            ),
+        )
+        text = session.explain(query_abc())
+        assert "[parallel] downward sharded across 2 workers" in text
+        assert "overlap-scan" not in text
+        assert "steal" not in text
+
+    def test_explain_notes_serial_fallback_for_unrouted_plans(self):
+        query = (
+            QueryBuilder()
+            .backbone("r", predicate=AttributePredicate.label("a"))
+            .predicate("p", parent="r", predicate=AttributePredicate.label("b"))
+            .structural("r", "p & !p")
+            .outputs("r")
+            .build()
+        )
+        session = QuerySession(
+            small_graph(), parallel=ParallelOptions(workers=2, backend="serial")
+        )
+        text = session.explain(query)
+        assert "[parallel] serial (plan not routed to the GTEA executor)" in text

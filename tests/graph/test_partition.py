@@ -5,7 +5,13 @@ import random
 import pytest
 
 from repro.graph import DataGraph
-from repro.graph.partition import STRATEGIES, GraphPartition, merge_survivors
+from repro.graph.partition import (
+    HYBRID_SKEW_THRESHOLD,
+    STRATEGIES,
+    ContourProbeCache,
+    GraphPartition,
+    merge_survivors,
+)
 
 
 class TestConstruction:
@@ -75,6 +81,92 @@ class TestRangeRouting:
         graph.add_node(label="a")
         partition = GraphPartition.for_graph(graph, 4, strategy="range")
         assert partition.split([0]) == [[0], [], [], []]
+
+
+class TestHybridRouting:
+    def test_needs_num_nodes(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            GraphPartition(2, strategy="hybrid")
+
+    def test_balanced_set_keeps_range(self):
+        # Two candidates per range shard — no skew, chain locality wins.
+        partition = GraphPartition(2, strategy="hybrid", num_nodes=10)
+        spread = [0, 2, 5, 7]
+        assert partition.route_for(spread) == "range"
+        assert partition.split(spread) == [[0, 2], [5, 7]]
+
+    def test_skewed_set_balances_with_hash(self):
+        # All candidates land in range shard 0 (8 > threshold * ideal 2),
+        # so the per-set decision flips to hash and balances them.
+        partition = GraphPartition(4, strategy="hybrid", num_nodes=100)
+        clustered = list(range(8))
+        assert len(clustered) > HYBRID_SKEW_THRESHOLD * (len(clustered) / 4)
+        assert partition.route_for(clustered) == "hash"
+        assert partition.split(clustered) == [[0, 4], [1, 5], [2, 6], [3, 7]]
+
+    def test_degenerate_sets_prefer_range(self):
+        partition = GraphPartition(4, strategy="hybrid", num_nodes=100)
+        assert partition.route_for([]) == "range"
+        assert partition.route_for([1, 2, 3], num_shards=1) == "range"
+
+    def test_configured_strategies_are_their_own_route(self):
+        assert GraphPartition(3).route_for(list(range(9))) == "hash"
+        ranged = GraphPartition(3, strategy="range", num_nodes=9)
+        assert ranged.route_for(list(range(9))) == "range"
+
+    def test_bare_shard_of_routes_like_range(self):
+        # Without a candidate set to observe, hybrid has no per-node
+        # answer; a bare lookup uses its preferred (range) routing.
+        partition = GraphPartition(2, strategy="hybrid", num_nodes=10)
+        assert [partition.shard_of(n) for n in range(10)] == [0] * 5 + [1] * 5
+
+    def test_wave_cache_is_fresh_per_wave(self):
+        partition = GraphPartition(2, strategy="hybrid", num_nodes=10)
+        first, second = partition.wave_cache(), partition.wave_cache()
+        assert isinstance(first, ContourProbeCache)
+        assert first is not second
+        first.publish(1, 2, {0: True})
+        assert second.seed(1, 2) is None
+
+
+class TestContourProbeCache:
+    def test_empty_cache_misses(self):
+        cache = ContourProbeCache()
+        assert cache.seed(3, 5) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_snapshot_seeds_only_at_or_above_its_sequence_number(self):
+        # A snapshot at sid 5 covers the region >= 5: it cannot seed a
+        # component at sid 7 (missing bits) but seeds sids 5 and 3.
+        cache = ContourProbeCache()
+        cache.publish(3, 5, {10: True})
+        assert cache.seed(3, 7) is None
+        assert cache.seed(3, 5) == (5, {10: True})
+        assert cache.seed(3, 3) == (5, {10: True})
+        assert (cache.hits, cache.misses) == (2, 1)
+
+    def test_prefers_the_lowest_valid_snapshot(self):
+        # Among valid snapshots the lowest sequence number covers the
+        # most of the remaining scan.
+        cache = ContourProbeCache()
+        cache.publish(1, 8, {0: True})
+        cache.publish(1, 5, {0: True, 1: False})
+        assert cache.seed(1, 4) == (5, {0: True, 1: False})
+        assert cache.seed(1, 6) == (8, {0: True})
+
+    def test_chains_are_independent(self):
+        cache = ContourProbeCache()
+        cache.publish(1, 2, {0: True})
+        assert cache.seed(2, 2) is None
+
+    def test_published_valuations_are_snapshots(self):
+        # publish copies: later writer-side mutation cannot leak into a
+        # snapshot another shard resumes from.
+        cache = ContourProbeCache()
+        valuation = {0: True}
+        cache.publish(4, 1, valuation)
+        valuation[0] = False
+        assert cache.seed(4, 1) == (1, {0: True})
 
 
 class TestMergeSurvivors:

@@ -25,7 +25,10 @@ import pytest
 from repro.datasets import random_labeled_graph, random_query_batch
 from repro.engine import QuerySession
 from repro.engine.parallel import ParallelOptions
+from repro.graph import DataGraph
 from repro.query import evaluate_naive
+from repro.query.attribute import AttributePredicate
+from repro.query.builder import QueryBuilder
 
 #: (first seed, number of seeds) chunks covering the default cases.
 DEFAULT_CHUNKS = [(start, 20) for start in range(400, 480, 20)]
@@ -65,6 +68,12 @@ def run_parallel_differential_cases(seeds, *, backend="serial") -> dict:
                 f"seed {seed} query {position}: sharded survivor sets are "
                 f"not byte-identical to the single-shard run"
             )
+            assert (
+                sharded_stats.candidates_after_upward == single_stats.candidates_after_upward
+            ), (
+                f"seed {seed} query {position}: sharded upward survivor sets "
+                f"are not byte-identical to the single-shard run"
+            )
             assert sharded_stats.downward_prune_ops == single_stats.downward_prune_ops
             coverage["queries"] += 1
             coverage["nonempty"] += bool(expected)
@@ -96,6 +105,83 @@ def test_parallel_differential_agreement(start, count):
     # and genuinely sharded dispatch (multi-task prunes).
     assert coverage["nonempty"] > 0
     assert coverage["sharded_tasks"] > coverage["queries"]
+
+
+def skewed_candidate_graph(seed: int, nodes: int = 36) -> DataGraph:
+    """A graph whose label-``"a"`` candidates cluster in one id range.
+
+    The first third of the node ids carries label ``"a"`` — a contiguous
+    block that lands entirely in one range shard, the skew shape hybrid
+    routing exists for.  A low-to-high spine plus random forward edges
+    keeps every pattern embedded (nonempty answers).
+    """
+    rng = random.Random(seed)
+    graph = DataGraph()
+    for node in range(nodes):
+        if node < nodes // 3:
+            graph.add_node({"kind": node % 3}, label="a")
+        else:
+            graph.add_node({"kind": node % 3}, label="b" if node % 2 else "c")
+    for node in range(nodes - 1):
+        graph.add_edge(node, node + 1)
+        graph.add_edge(node, rng.randrange(node + 1, nodes))
+    return graph
+
+
+def skewed_queries() -> list:
+    """Patterns whose roots bind the skewed ``"a"`` block."""
+    batch = []
+    for tail, kind in (("b", 0), ("c", 1), ("b", 2)):
+        batch.append(
+            QueryBuilder()
+            .backbone("r", predicate=AttributePredicate.label("a"))
+            .backbone("m", parent="r", predicate=AttributePredicate([("kind", "=", kind)]))
+            .backbone("t", parent="m", predicate=AttributePredicate.label(tail))
+            .outputs("r", "t")
+            .build()
+        )
+    return batch
+
+
+def test_parallel_skewed_shards_steal_and_match_oracle():
+    """Skewed candidates, shards > workers: stealing + sharded upward.
+
+    With four shards over two workers every multi-shard wave overflows
+    the in-flight cap, so idle workers must steal queued shard tasks;
+    the skewed root block additionally forces hybrid routing's hash
+    fallback.  Answers, survivor sets after *both* prune phases, and
+    prune-op counts must still be byte-identical to the single-shard
+    run, and the answers must match ``evaluate_naive``.
+    """
+    steals = upward_tasks = 0
+    for seed in range(640, 648):
+        graph = skewed_candidate_graph(seed)
+        single = parallel_session(graph, workers=1, shards=1)
+        sharded = parallel_session(graph, workers=2, shards=4)
+        for position, query in enumerate(skewed_queries()):
+            expected = evaluate_naive(query, graph)
+            single_answer, single_stats = single.evaluate_with_stats(query)
+            sharded_answer, sharded_stats = sharded.evaluate_with_stats(query)
+            assert sharded_answer == expected, (
+                f"seed {seed} query {position}: sharded execution "
+                f"disagrees with evaluate_naive on a skewed graph"
+            )
+            assert single_answer == expected
+            assert (
+                sharded_stats.candidates_after_downward
+                == single_stats.candidates_after_downward
+            )
+            assert (
+                sharded_stats.candidates_after_upward
+                == single_stats.candidates_after_upward
+            )
+            assert sharded_stats.downward_prune_ops == single_stats.downward_prune_ops
+            steals += sharded_stats.parallel_steals
+            upward_tasks += sharded_stats.parallel_upward_tasks
+    # The sweep must actually exercise the new machinery: queued shard
+    # tasks picked up by freed workers, and sharded upward refinement.
+    assert steals > 0
+    assert upward_tasks > 0
 
 
 @pytest.mark.slow

@@ -285,6 +285,40 @@ class TestSessionFeedback:
         assert any("/gtea-codegen/" in key for key in snapshot)
         assert not any("/gtea/" in key for key in snapshot)
 
+    def test_compiled_prune_loop_times_are_isolated_per_phase(self):
+        """The generated prune loop's wall time files as ``CodegenPrune``.
+
+        A per-phase record under the ``"gtea-codegen"`` key lets the
+        snapshot compare the specialized loop against the interpreted
+        ``DownwardPrune`` arm — but it must stay inside that excluded
+        key: neither the interpreted rate nor the executor calibration
+        may move because a compiled prune loop was timed.
+        """
+        graph = dag_graph()
+        session = QuerySession(graph, codegen="auto")
+        query = conjunctive_query()
+        answer, stats = session.evaluate_with_stats(query)
+        assert answer == evaluate_naive(query, graph)
+        assert stats.codegen_fallbacks == 0, "query should have compiled"
+        state = session.cost_profile.export_state()
+        codegen = [key for key in state["keys"] if key["executor"] == "gtea-codegen"]
+        assert len(codegen) == 1
+        operators = codegen[0]["operators"]
+        assert set(operators) == {"CodegenExecute", "CodegenPrune"}
+        assert operators["CodegenPrune"]["runs"] == 1
+        assert (
+            0.0
+            <= operators["CodegenPrune"]["seconds"]
+            <= operators["CodegenExecute"]["seconds"]
+        )
+        # Isolation: the phase record never reaches the interpreted arms.
+        assert session.cost_profile.observed_rate(
+            session.resolved_index, graph.version
+        ) is None
+        assert session.cost_profile.executor_costs(
+            session.resolved_index, graph.version
+        ) is None
+
     def test_codegen_runs_never_calibrate_the_interpreted_arms(self):
         """Regression: compiled timings used to pollute GTEA's rates.
 

@@ -14,6 +14,7 @@ serve pre-mutation answers.  The content fingerprint must move when the
 version counter does not.
 """
 
+import os
 import pickle
 import threading
 
@@ -74,6 +75,58 @@ class TestRoundTrip:
         assert store.fingerprints() == ["b" * 64]
         assert store.clear() == 1
         assert store.fingerprints() == []
+
+
+class TestPrune:
+    """LRU eviction: oldest-mtime artifacts go first, whole files only."""
+
+    def age(self, store, fingerprint, kind, mtime):
+        os.utime(store.path(fingerprint, kind), (mtime, mtime))
+
+    def test_rejects_negative_budget(self, store):
+        with pytest.raises(ValueError, match="max_bytes"):
+            store.prune(-1)
+
+    def test_under_budget_store_evicts_nothing(self, store):
+        saved(store)
+        assert store.prune(10**9) == 0
+        assert store.counters.evictions == 0
+        assert store.load(FP, "plans") is not None
+
+    def test_evicts_oldest_mtime_first(self, store):
+        # Three artifacts, distinct ages; a budget that fits exactly one
+        # must evict the two oldest and keep the newest.
+        for position, kind in enumerate(("plans", "results", "candidates")):
+            saved(store, kind=kind)
+            self.age(store, FP, kind, 1000.0 + position)
+        size = store.path(FP, "candidates").stat().st_size
+        assert store.prune(size) == 2
+        assert store.kinds(FP) == ["candidates"]
+        assert store.counters.evictions == 2
+
+    def test_zero_budget_empties_the_store_and_its_directories(self, store):
+        saved(store)
+        saved(store, fingerprint="b" * 64)
+        assert store.prune(0) == 2
+        assert store.fingerprints() == []
+        # Emptied fingerprint directories are removed too.
+        assert [p for p in store.root.iterdir()] == []
+
+    def test_surviving_artifacts_still_load(self, store):
+        saved(store, payload="old", kind="plans")
+        saved(store, payload="new", kind="results")
+        self.age(store, FP, "plans", 1000.0)
+        self.age(store, FP, "results", 2000.0)
+        store.prune(store.path(FP, "results").stat().st_size)
+        assert store.load(FP, "results") == "new"
+        assert store.load(FP, "plans", default="cold") == "cold"
+
+    def test_evictions_accumulate_across_prunes(self, store):
+        saved(store, kind="plans")
+        assert store.prune(0) == 1
+        saved(store, kind="results")
+        assert store.prune(0) == 1
+        assert store.counters.evictions == 2
 
 
 class TestFailureModes:
