@@ -1,0 +1,94 @@
+"""Per-query index choice: lazily-built partial indexes vs a full build.
+
+The enclave workload (``repro.datasets.index_choice_workload``) queries
+a tiny rare-label region of a graph big enough that the ladder's full
+3-hop build dominates a cold first answer.  Per-query costing
+(``repro.plan.cost.choose_scoped_index``) notices the label posting
+lists bound the footprint, builds a transitive closure over just the
+candidate cone, and skips the full build entirely; the pinned-full arm
+pays it.  Both arms are measured truly cold — fresh sessions per round,
+index construction inside the timed region — and answers are asserted
+byte-identical every round.
+
+Acceptance bar: the aggregate cold first-answer speedup must reach 2x
+locally (1.5x under CI, where shared runners add noise), with every
+workload query actually served by a partial index — zero fallbacks.
+A warm leg then re-evaluates through one session and must serve every
+footprint from the pool (no rebuilds).
+
+Results land in ``benchmarks/reports/index_choice.json``
+(machine-readable) and as a table on stdout.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.bench import format_table, measure_index_choice
+from repro.datasets import index_choice_workload
+from repro.engine import QuerySession
+
+from .conftest import emit_report
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: aggregate cold-speedup floor: relaxed on shared CI runners.
+FLOOR = 1.5 if os.environ.get("CI") else 2.0
+SCALE = 2
+ROUNDS = 3
+
+
+def test_index_choice_speedup_report():
+    graph, queries = index_choice_workload(scale=SCALE, queries=4)
+    named = [(f"q{position}", query) for position, query in enumerate(queries)]
+
+    measurement = measure_index_choice(graph, named, rounds=ROUNDS)
+    assert measurement.mismatches == 0
+    assert measurement.fallbacks == 0
+    assert measurement.partial_picked == len(named), (
+        "every enclave query must exercise the partial arm"
+    )
+
+    # Warm leg: one session across the workload — every distinct
+    # footprint builds once, every repeat is a pool hit.
+    warm = QuerySession(graph)
+    for __, query in named:
+        warm.evaluate(query)
+    warm_hits_before = warm.cache_info()["partial"]["hits"]
+    for __, query in named:
+        # Drop cached answers so the repeats exercise the partial pool
+        # rather than returning straight from the result cache.
+        warm.result_cache.clear()
+        stats = warm.evaluate_with_stats(query)[1]
+        assert stats.partial_builds == 0, "warm repeats must not rebuild"
+    assert warm.cache_info()["partial"]["hits"] > warm_hits_before
+
+    rows = [[*row.values()] for row in measurement.rows()]
+    payload = {
+        "floor": FLOOR,
+        "rounds": ROUNDS,
+        "graph_nodes": graph.num_nodes,
+        "full_index": measurement.full_index,
+        "aggregate_speedup": round(measurement.speedup, 3),
+        "queries": {row["query"]: row for row in measurement.rows()},
+    }
+
+    emit_report(
+        "index_choice",
+        format_table(
+            f"Partial vs full index, cold first answer (enclave workload, "
+            f"n={graph.num_nodes}, full={measurement.full_index}, "
+            f"aggregate {measurement.speedup:.2f}x)",
+            ["query", "full_ms", "partial_ms", "speedup", "footprint", "results"],
+            rows,
+        ),
+    )
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / "index_choice.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert measurement.speedup >= FLOOR, (
+        f"aggregate cold first-answer speedup {measurement.speedup:.2f}x is "
+        f"below the {FLOOR:.1f}x floor"
+    )

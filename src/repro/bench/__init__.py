@@ -13,6 +13,7 @@ from .harness import (
     mean,
     measure_adaptive,
     measure_codegen,
+    measure_index_choice,
     measure_parallel,
     measure_warm_cold,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "mean",
     "measure_adaptive",
     "measure_codegen",
+    "measure_index_choice",
     "measure_parallel",
     "measure_warm_cold",
 ]

@@ -16,6 +16,11 @@ Subcommands:
 * ``codegen`` — specialized plan functions (``repro.plan.codegen``)
   vs the interpreted operator pipeline, warm, on the Fig. 7 queries,
   with exact-answer checks and an optional speedup floor;
+* ``index-choice`` — per-query index costing (``repro.plan.cost``)
+  building lazily-pooled partial indexes over the query's candidate
+  footprint vs a pinned full-graph build, cold first answer on the
+  enclave workload, with exact-answer checks and an optional speedup
+  floor;
 * ``parallel`` — sharded, concurrent downward-prune execution
   (``repro.engine.parallel``) swept over worker counts on the funnel
   workload, with exact-answer and byte-identical-survivor checks
@@ -48,6 +53,7 @@ from ..datasets import (
     fig7_query,
     funnel_workload,
     generate_xmark,
+    index_choice_workload,
     random_labeled_graph,
     random_query_batch,
     skewed_workload,
@@ -59,6 +65,7 @@ from .harness import (
     format_table,
     measure_adaptive,
     measure_codegen,
+    measure_index_choice,
     measure_parallel,
     measure_warm_cold,
 )
@@ -258,6 +265,51 @@ def _cmd_codegen(args: argparse.Namespace) -> int:
         [list(row.values()) for row in rows],
     ))
     print(f"aggregate warm speedup: {measurement.speedup:.2f}x")
+    if args.enforce_floor and measurement.speedup < args.floor:
+        print(
+            f"repro-bench: error: aggregate speedup {measurement.speedup:.2f}x "
+            f"is below the floor ({args.floor:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_index_choice(args: argparse.Namespace) -> int:
+    if args.rounds < 1 or args.workload_scale < 1 or args.queries < 1:
+        print(
+            "repro-bench: error: --rounds, --workload-scale and --queries "
+            "must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    graph, queries = index_choice_workload(
+        scale=args.workload_scale, queries=args.queries, seed=args.seed
+    )
+    named = [(f"q{position}", query) for position, query in enumerate(queries)]
+    measurement = measure_index_choice(graph, named, rounds=args.rounds)
+    if measurement.mismatches:
+        print(
+            "repro-bench: error: partial and full-index sessions disagree "
+            "(this is a bug — please report the seed)",
+            file=sys.stderr,
+        )
+        return 1
+    if measurement.fallbacks:
+        print(
+            f"repro-bench: error: {measurement.fallbacks} evaluation(s) fell "
+            "back to a full index on the enclave workload",
+            file=sys.stderr,
+        )
+        return 1
+    rows = measurement.rows()
+    print(format_table(
+        f"Partial vs full index, cold first answer (enclave workload, "
+        f"n={graph.num_nodes}, full={measurement.full_index})",
+        list(rows[0]),
+        [list(row.values()) for row in rows],
+    ))
+    print(f"aggregate cold first-answer speedup: {measurement.speedup:.2f}x")
     if args.enforce_floor and measurement.speedup < args.floor:
         print(
             f"repro-bench: error: aggregate speedup {measurement.speedup:.2f}x "
@@ -571,6 +623,25 @@ def build_parser() -> argparse.ArgumentParser:
     codegen.add_argument("--floor", type=float, default=1.5,
                          help="speedup floor for --enforce-floor (default 1.5)")
     codegen.set_defaults(func=_cmd_codegen)
+
+    index_choice = subparsers.add_parser(
+        "index-choice",
+        help="per-query partial indexes vs a full build, cold first answer",
+    )
+    index_choice.add_argument("--workload-scale", type=int, default=2,
+                              help="enclave-graph scale factor (default 2)")
+    index_choice.add_argument("--queries", type=int, default=4,
+                              help="enclave queries in the workload (default 4)")
+    index_choice.add_argument("--rounds", type=int, default=3,
+                              help="cold evaluations per query per arm "
+                                   "(default 3)")
+    index_choice.add_argument("--enforce-floor", action="store_true",
+                              help="fail unless the aggregate cold "
+                                   "first-answer speedup reaches --floor")
+    index_choice.add_argument("--floor", type=float, default=1.5,
+                              help="speedup floor for --enforce-floor "
+                                   "(default 1.5)")
+    index_choice.set_defaults(func=_cmd_index_choice)
 
     parallel = subparsers.add_parser(
         "parallel", help="sharded concurrent prune execution vs single-shard"

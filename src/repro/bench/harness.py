@@ -596,3 +596,124 @@ def measure_codegen(
     return CodegenMeasurement(
         points=points, mode=mode, mismatches=mismatches, uncompiled=uncompiled
     )
+
+
+# ----------------------------------------------------------------------
+# Per-query index choice (partial vs full builds)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IndexChoicePoint:
+    """Cold first-answer times of one query under both index arms."""
+
+    name: str
+    partial_ms: float  #: cold evaluation through per-query costing
+    full_ms: float  #: cold evaluation with the ladder's full index pinned
+    results: int
+    partial_builds: int
+    partial_hits: int
+    footprint: int | None
+
+    @property
+    def speedup(self) -> float:
+        return self.full_ms / self.partial_ms if self.partial_ms else 0.0
+
+
+@dataclass
+class IndexChoiceMeasurement:
+    """Result of :func:`measure_index_choice`."""
+
+    points: list[IndexChoicePoint]
+    full_index: str
+    mismatches: int = 0
+    fallbacks: int = 0
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate cold first-answer speedup (total full over partial)."""
+        partial_ms = sum(p.partial_ms for p in self.points)
+        if partial_ms == 0.0:
+            return 0.0
+        return sum(p.full_ms for p in self.points) / partial_ms
+
+    @property
+    def partial_picked(self) -> int:
+        """Queries whose cold run actually built or reused a partial index."""
+        return sum(1 for p in self.points if p.partial_builds or p.partial_hits)
+
+    def rows(self) -> list[dict[str, float]]:
+        return [
+            {
+                "query": point.name,
+                "full_ms": round(point.full_ms, 3),
+                "partial_ms": round(point.partial_ms, 3),
+                "speedup": round(point.speedup, 2),
+                "footprint": point.footprint or 0,
+                "results": point.results,
+            }
+            for point in self.points
+        ]
+
+
+def measure_index_choice(
+    graph: DataGraph,
+    queries: list[tuple[str, GTPQ]],
+    rounds: int = 3,
+) -> IndexChoiceMeasurement:
+    """Cold first answers: per-query partial indexes vs a full build.
+
+    Each round evaluates every query on *fresh* sessions — one letting
+    the per-query costing pick its arm (and pay any partial build), one
+    pinned to the graph-shape ladder's full index (paying the full
+    build) — so both timings are true cold first answers including index
+    construction.  Per-query times are min/max trimmed means; answers
+    are asserted identical across arms every round.
+    """
+    from ..graph.stats import graph_stats
+    from ..plan import choose_index
+
+    full_name = choose_index(graph_stats(graph))
+    mismatches = fallbacks = 0
+    points: list[IndexChoicePoint] = []
+    for name, query in queries:
+        partial_samples: list[float] = []
+        full_samples: list[float] = []
+        expected = None
+        builds = hits = 0
+        footprint = None
+        for _ in range(rounds):
+            session = QuerySession(graph)
+            started = time.perf_counter()
+            answer, stats = session.evaluate_with_stats(query)
+            partial_samples.append(time.perf_counter() - started)
+            builds += stats.partial_builds
+            hits += stats.partial_hits
+            fallbacks += stats.partial_fallbacks
+            physical = session._plan_for(query).compiled.physical
+            if physical.footprint_estimate is not None:
+                footprint = physical.footprint_estimate
+            session.close()
+
+            pinned = QuerySession(graph, index=full_name)
+            started = time.perf_counter()
+            full_answer = pinned.evaluate(query)
+            full_samples.append(time.perf_counter() - started)
+            pinned.close()
+
+            if expected is None:
+                expected = answer
+            mismatches += answer != expected
+            mismatches += full_answer != expected
+        points.append(
+            IndexChoicePoint(
+                name=name,
+                partial_ms=_trimmed_mean_ms(partial_samples),
+                full_ms=_trimmed_mean_ms(full_samples),
+                results=len(expected),
+                partial_builds=builds,
+                partial_hits=hits,
+                footprint=footprint,
+            )
+        )
+    return IndexChoiceMeasurement(
+        points=points, full_index=full_name, mismatches=mismatches, fallbacks=fallbacks
+    )

@@ -4,7 +4,9 @@ from .arxiv import ArxivGraph, generate_arxiv
 from .dblp import AUTHOR_POOL, DblpGraph, generate_dblp
 from .random_queries import (
     GeneratedQuery,
+    enclave_graph,
     funnel_workload,
+    index_choice_workload,
     generate_query_groups,
     parallel_graph,
     parallel_workload,
@@ -42,12 +44,14 @@ __all__ = [
     "exp1_query",
     "exp2_query",
     "fig11_query",
+    "enclave_graph",
     "fig7_query",
     "funnel_workload",
     "generate_arxiv",
     "generate_dblp",
     "generate_query_groups",
     "generate_xmark",
+    "index_choice_workload",
     "parallel_graph",
     "parallel_workload",
     "random_embedded_query",

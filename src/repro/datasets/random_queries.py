@@ -492,3 +492,74 @@ def funnel_workload(
             .build()
         )
     return graph, workload
+
+
+def enclave_graph(scale: int, rng: random.Random, span: int = 20) -> DataGraph:
+    """A large DAG with a tiny rare-label *enclave* at its sink end.
+
+    The large-graph/small-footprint shape of per-query index costing:
+
+    * **bulk** — ``2000 * scale`` nodes over labels ``a``/``b``/``c``
+      with ~2.5 local-span edges per node (O(n·span) generation), so
+      the graph clears both the tiny-graph and near-tree rungs of the
+      index ladder and a full build pays real 3-hop money;
+    * **enclave** — ``~2%`` of the nodes, labels ``q``/``r``/``s``,
+      edges strictly inside the enclave (bulk→enclave bridges exist,
+      enclave→bulk edges do not), so the descendant cone of any
+      enclave-label candidate set stays inside the enclave.
+
+    Queries over the rare labels therefore have a footprint two orders
+    of magnitude below the graph — a transitive closure over just that
+    cone answers them without ever paying the full-graph build.
+    """
+    graph = DataGraph()
+    bulk = 2000 * scale
+    enclave = max(40, bulk // 50)
+    for __ in range(bulk):
+        graph.add_node(label=rng.choice("abc"))
+    for target in range(1, bulk):
+        lower = max(0, target - span)
+        graph.add_edge(rng.randrange(lower, target), target)
+        graph.add_edge(rng.randrange(lower, target), target)
+        if target % 2:
+            graph.add_edge(rng.randrange(lower, target), target)
+    base = bulk
+    for __ in range(enclave):
+        graph.add_node(label=rng.choice("qrs"))
+    for offset in range(1, enclave):
+        target = base + offset
+        lower = base + max(0, offset - span)
+        graph.add_edge(rng.randrange(lower, target), target)
+        graph.add_edge(rng.randrange(lower, target), target)
+    for __ in range(enclave // 4):
+        graph.add_edge(rng.randrange(bulk), base + rng.randrange(enclave))
+    return graph
+
+
+def index_choice_workload(
+    scale: int = 2, queries: int = 6, seed: int = 97
+) -> tuple[DataGraph, list[GTPQ]]:
+    """A (graph, queries) pair where partial indexes beat full builds.
+
+    AD chains over the rare enclave labels of :func:`enclave_graph` —
+    every candidate source is a short label posting list whose
+    descendant cone stays inside the enclave, so per-query costing
+    (:func:`repro.plan.cost.choose_scoped_index`) picks a partial index
+    and the cold first answer skips the full-graph build entirely.
+    Label rotations keep the copies' fingerprints (and footprints'
+    inner work) distinct while staying inside the enclave.
+    """
+    rng = random.Random(seed)
+    graph = enclave_graph(scale, rng)
+    label_pairs = [("q", "r"), ("q", "s"), ("r", "s"), ("r", "q"), ("s", "q"), ("s", "r")]
+    workload: list[GTPQ] = []
+    for copy in range(queries):
+        head, tail = label_pairs[copy % len(label_pairs)]
+        workload.append(
+            QueryBuilder()
+            .backbone("a", predicate=AttributePredicate.label(head))
+            .backbone("b", parent="a", predicate=AttributePredicate.label(tail))
+            .outputs("a", "b")
+            .build()
+        )
+    return graph, workload

@@ -77,8 +77,10 @@ from ..query.serialize import (
     query_from_dict,
     query_from_json,
 )
+from ..plan.cost import PARTIAL_FOOTPRINT_FRACTION
 from ..reachability.base import GraphReachability
 from ..reachability.factory import build_reachability, resolve_index
+from ..reachability.partial import Footprint, build_partial_reachability
 from ..store import ArtifactStore, graph_fingerprint, seed_profile_from_reports
 from .cache import LRUCache
 from .gtea import GTEA
@@ -201,6 +203,15 @@ class QuerySession:
             session's current artifacts back.  A corrupt, stale or
             missing store is never an error: affected kinds simply
             cold-build.
+        partial_pool_size: LRU capacity of the partial-index pool — the
+            budgeted set of footprint-restricted reachability services
+            per-query costing builds lazily
+            (:mod:`repro.reachability.partial`), keyed by
+            ``(scoped index name, domain fingerprint)`` so equal
+            footprints share one build.  Entries persist through the
+            warm store (kind ``"partial-indexes"``) and rehydrate on
+            restart.  Pass ``0`` to disable pooling (each partial plan
+            rebuilds its index).
 
     Every execution's observed per-operator stats feed the session-held
     :attr:`cost_profile` (:class:`~repro.plan.feedback.CostProfile`),
@@ -222,6 +233,7 @@ class QuerySession:
         parallel: int | ParallelOptions | None = None,
         codegen: bool | str = False,
         store: ArtifactStore | str | os.PathLike | None = None,
+        partial_pool_size: int = 8,
     ):
         self.graph = graph
         self.default_index = index
@@ -251,6 +263,13 @@ class QuerySession:
         # cache so a stream of distinct queries cannot grow it forever.
         self._observed_ops = LRUCache(plan_cache_size)
         self._reach_pool: dict[str, GraphReachability] = {}
+        # Footprint-restricted reachability services, LRU-evicted so the
+        # pool stays a bounded budget of small artifacts; keys are
+        # (scoped index name, domain fingerprint).
+        self.partial_pool = LRUCache(partial_pool_size)
+        # Computed footprints per plan fingerprint (False = the cone
+        # blew the budget; the plan permanently falls back to full).
+        self._footprint_cache = LRUCache(plan_cache_size)
         self._engines: dict[str, GTEA] = {}
         self._parallel_pool: dict[str, ParallelExecutor] = {}
         self._resolved_auto: str | None = None
@@ -352,6 +371,8 @@ class QuerySession:
         # version, so stale observations simply stop being consulted.
         self._observed_ops.clear()
         self._reach_pool.clear()
+        self.partial_pool.clear()
+        self._footprint_cache.clear()
         self._engines.clear()
         # Parallel executors are pinned to the graph version their
         # process workers forked with; a fresh pool is rebuilt lazily.
@@ -405,6 +426,7 @@ class QuerySession:
         counts = dict.fromkeys(
             (
                 "indexes",
+                "partial_indexes",
                 "plans",
                 "candidates",
                 "subtrees",
@@ -494,6 +516,14 @@ class QuerySession:
                 service.graph = self.graph
                 self._reach_pool.setdefault(name, service)
             self.store_rehydrated["indexes"] = len(indexes)
+        partial = self.store.load(self.store_fingerprint, "partial-indexes")
+        if isinstance(partial, dict):
+            # Oldest-first insertion keeps the persisted LRU recency;
+            # entries beyond the pool budget evict naturally.
+            for key, service in partial.items():
+                service.graph = self.graph
+                self.partial_pool.put(key, service)
+            self.store_rehydrated["partial_indexes"] = len(partial)
 
     def persist(self) -> dict[str, int]:
         """Publish this session's warm artifacts to the store.
@@ -514,6 +544,10 @@ class QuerySession:
 
         if self._reach_pool and self._try_save(fingerprint, "indexes", dict(self._reach_pool)):
             persisted["indexes"] = len(self._reach_pool)
+
+        partial = dict(self.partial_pool.items())
+        if partial and self._try_save(fingerprint, "partial-indexes", partial):
+            persisted["partial_indexes"] = len(partial)
 
         plans = self.plan_cache.items()
         if plans and self._try_save(fingerprint, "plans", plans):
@@ -545,6 +579,17 @@ class QuerySession:
                 compiled[key] = entry
         if compiled and self._try_save(fingerprint, "codegen", compiled):
             persisted["codegen"] = len(compiled)
+
+        # Emitted source rides along under its own kind so the generated
+        # functions are inspectable on disk (and survive restarts) even
+        # where the function entries themselves fail to rebuild.
+        sources = {
+            key: entry.source
+            for key, entry in self.codegen_cache.items()
+            if isinstance(entry, CompiledPlanFunction) and entry.source
+        }
+        if sources and self._try_save(fingerprint, "codegen-src", sources):
+            persisted["codegen_src"] = len(sources)
 
         state = self.cost_profile.export_state()
         if state is not None and self._try_save(fingerprint, "profile", state):
@@ -681,6 +726,7 @@ class QuerySession:
                     index=self.default_index,
                     stats=self.graph_statistics(),
                     profile=self.cost_profile,
+                    pooled=tuple(self._reach_pool),
                 ),
             )
             self.plan_cache.put(fingerprint, plan)
@@ -747,11 +793,42 @@ class QuerySession:
     ) -> tuple[ResultSet, EvaluationStats]:
         """Run one cold plan through its engine (no result-cache probe)."""
         stats = EvaluationStats()
-        index_name = plan.compiled.physical.index_name
-        engine = self.engine(index_name)
-        parallel = None
-        if not group_nodes and plan.compiled.physical.executor == "gtea":
-            parallel = self.parallel_executor(index_name)
+        physical = plan.compiled.physical
+        actual_index: str | None = None
+        partial_service = None
+        if physical.index_scope == "partial" and physical.executor == "gtea":
+            if group_nodes:
+                # Group evaluation runs the original, pre-rewrite query,
+                # whose candidates may fall outside the rewritten
+                # footprint; run it on a full index.
+                stats.partial_fallbacks = 1
+            else:
+                partial_service = self._partial_service(plan, stats)
+                if partial_service is None:
+                    stats.partial_fallbacks = 1
+        if partial_service is not None:
+            # A per-footprint engine: construction is trivial (the
+            # reachability service is prebuilt); sharded execution is
+            # skipped — its pools pin full-scope engines by index name.
+            engine = GTEA(
+                self.graph, reachability=partial_service, adaptive=self.adaptive
+            )
+            parallel = None
+        elif physical.index_scope == "partial":
+            # Fallback runs resolve the session default (the ladder
+            # pick) — never the partial inner, whose name (e.g. "tc")
+            # must not become a whole-graph build.
+            engine = self.engine(None)
+            actual_index = engine.resolved_index()
+            parallel = None
+            if not group_nodes:
+                parallel = self.parallel_executor(None)
+        else:
+            index_name = physical.index_name
+            engine = self.engine(index_name)
+            parallel = None
+            if not group_nodes and physical.executor == "gtea":
+                parallel = self.parallel_executor(index_name)
         codegen_fn = None
         if self.codegen:
             if parallel is not None or group_nodes or self.adaptive:
@@ -798,9 +875,82 @@ class QuerySession:
                 self._record_codegen_feedback(plan, stats, elapsed)
             else:
                 self._record_feedback(
-                    plan, stats, executor="gtea-parallel" if parallel is not None else None
+                    plan,
+                    stats,
+                    executor="gtea-parallel" if parallel is not None else None,
+                    index_name=actual_index,
                 )
         return results, stats
+
+    def _partial_service(self, plan: QueryPlan, stats: EvaluationStats):
+        """The pooled partial reachability service for ``plan``, or None.
+
+        Pool hits (including warm-store rehydrations) are free; a miss
+        computes the query's footprint — the union of its candidate sets
+        closed under reachability — and builds the plan's inner index
+        over just that cone, filing the build time as a synthetic
+        ``PartialIndexBuild`` operator record so calibration prices the
+        cold partial arm honestly.  Returns None when the real cone
+        blows the footprint budget (the costing-time estimate was an
+        upper bound on seeds, not on the cone).
+        """
+        self._load_indexes_from_store()
+        physical = plan.compiled.physical
+        footprint = self._footprint_for(plan)
+        if footprint is None:
+            return None
+        key = (physical.scoped_index_name, footprint.fingerprint)
+        service = self.partial_pool.get(key)
+        if service is not None:
+            stats.partial_hits = 1
+            return service
+        started = time.perf_counter()
+        service = build_partial_reachability(
+            self.graph, footprint, physical.index_name
+        )
+        elapsed = time.perf_counter() - started
+        stats.partial_builds = 1
+        stats.phase_seconds["partial_build"] = (
+            stats.phase_seconds.get("partial_build", 0.0) + elapsed
+        )
+        stats.operator_stats.append(
+            OperatorStats(
+                op="PartialIndexBuild",
+                target=None,
+                input_size=len(footprint),
+                output_size=service.index.index_size(),
+                seconds=elapsed,
+                index_lookups=0,
+                index_entries=0,
+            )
+        )
+        self.partial_pool.put(key, service)
+        return service
+
+    def _footprint_for(self, plan: QueryPlan) -> Footprint | None:
+        """The plan's candidate footprint, cached per fingerprint.
+
+        Seeds are the rewritten query's candidate sets — fetched through
+        the same predicate-keyed cache the execution uses, so the fetch
+        is paid once — closed under reachability with a hard budget of
+        :data:`~repro.plan.cost.PARTIAL_FOOTPRINT_FRACTION` of the
+        graph.  A budget blowout caches ``False`` so the plan falls back
+        to full scope permanently (until invalidation).
+        """
+        cached = self._footprint_cache.get(plan.fingerprint)
+        if cached is not None:
+            return cached or None
+        query = plan.compiled.query
+        provider = self._candidate_provider(plan)
+        seeds: set[int] = set()
+        for node_id in query.nodes:
+            seeds.update(provider(query, node_id))
+        budget = max(1, int(PARTIAL_FOOTPRINT_FRACTION * self.graph.num_nodes))
+        footprint = Footprint.from_seeds(self.graph, seeds, budget=budget)
+        self._footprint_cache.put(
+            plan.fingerprint, footprint if footprint is not None else False
+        )
+        return footprint
 
     def _record_codegen_feedback(
         self, plan: QueryPlan, stats: EvaluationStats, elapsed: float
@@ -877,13 +1027,23 @@ class QuerySession:
         return entry, False
 
     def _record_feedback(
-        self, plan: QueryPlan, stats: EvaluationStats, executor: str | None = None
+        self,
+        plan: QueryPlan,
+        stats: EvaluationStats,
+        executor: str | None = None,
+        index_name: str | None = None,
     ) -> None:
-        """Fold one execution's operator records into the cost profile."""
+        """Fold one execution's operator records into the cost profile.
+
+        Partial-scope executions file under the *scoped* index name
+        ("tc@partial"), so full-index calibration is never diluted by
+        partial-build economics — and per-query costing reads the scoped
+        key back to learn when partial beats full.
+        """
         if not stats.operator_stats:
             return
         self.cost_profile.record(
-            index_name=plan.compiled.physical.index_name,
+            index_name=index_name or plan.compiled.physical.scoped_index_name,
             executor=executor or plan.compiled.physical.executor,
             graph_version=self._graph_version,
             operator_stats=stats.operator_stats,
@@ -1024,10 +1184,17 @@ class QuerySession:
         value counts those skipped groups.
         """
         by_index: dict[str, list[int]] = {}
-        for position, plan in enumerate(plans):
-            by_index.setdefault(plan.compiled.physical.index_name, []).append(position)
-
         outcomes: list[tuple[ResultSet, EvaluationStats] | None] = [None] * len(plans)
+        for position, plan in enumerate(plans):
+            physical = plan.compiled.physical
+            if physical.index_scope != "full":
+                # Partial-scope plans bind to their own footprint index;
+                # the shared DAG prunes every subtree on one engine, so
+                # they run the isolated path instead.
+                outcomes[position] = self._execute_plan(plan, ())
+                continue
+            by_index.setdefault(physical.index_name, []).append(position)
+
         skipped = 0
         cached = lambda fingerprint: self.subtree_cache.peek(fingerprint) is not None
         for index_name, positions in by_index.items():
@@ -1116,6 +1283,10 @@ class QuerySession:
             "codegen": {
                 **self.codegen_cache.counters.snapshot(),
                 "size": len(self.codegen_cache),
+            },
+            "partial": {
+                **self.partial_pool.counters.snapshot(),
+                "size": len(self.partial_pool),
             },
             "indexes": {"pooled": len(self._reach_pool)},
             **(

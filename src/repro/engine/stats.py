@@ -81,6 +81,18 @@ class EvaluationStats:
     #: plan the backend cannot specialize).
     codegen_fallbacks: int = 0
     # ------------------------------------------------------------------
+    # Partial-index counters (repro.reachability.partial, behind the
+    # per-query costing of repro.plan.cost).  All zero for full-scope
+    # plans.
+    # ------------------------------------------------------------------
+    #: executions that built a footprint-restricted index first.
+    partial_builds: int = 0
+    #: executions served by a pooled (or rehydrated) partial index.
+    partial_hits: int = 0
+    #: partial-scope plans that ran on a full index anyway (candidate
+    #: cone blew the footprint budget, or group evaluation).
+    partial_fallbacks: int = 0
+    # ------------------------------------------------------------------
     # Sharded-execution counters (repro.engine.parallel).  All zero when
     # the prune phase ran serially.
     # ------------------------------------------------------------------
@@ -178,6 +190,9 @@ class EvaluationStats:
         self.codegen_hits += other.codegen_hits
         self.codegen_misses += other.codegen_misses
         self.codegen_fallbacks += other.codegen_fallbacks
+        self.partial_builds += other.partial_builds
+        self.partial_hits += other.partial_hits
+        self.partial_fallbacks += other.partial_fallbacks
         self.parallel_workers = max(self.parallel_workers, other.parallel_workers)
         self.parallel_shard_tasks += other.parallel_shard_tasks
         self.parallel_upward_tasks += other.parallel_upward_tasks
@@ -225,6 +240,9 @@ class EvaluationStats:
             "codegen_hits": self.codegen_hits,
             "codegen_misses": self.codegen_misses,
             "codegen_fallbacks": self.codegen_fallbacks,
+            "partial_builds": self.partial_builds,
+            "partial_hits": self.partial_hits,
+            "partial_fallbacks": self.partial_fallbacks,
         }
 
 

@@ -31,11 +31,17 @@ from .shared import (
 from .cost import (
     AUTO_NEAR_TREE_RATIO,
     AUTO_TC_MAX_NODES,
+    PARTIAL_CONE_EXPANSION,
+    PARTIAL_FOOTPRINT_FRACTION,
     CostEstimate,
+    IndexChoice,
     choose_index,
     choose_index_detail,
+    choose_scoped_index,
     estimate_candidates,
     estimate_executor,
+    index_build_units,
+    scoped_index_key,
 )
 from .feedback import CostProfile
 from .logical import CandidateSource, LogicalPlan, PruneObligation, build_logical_plan
@@ -57,8 +63,11 @@ __all__ = [
     "CompiledPlanFunction",
     "CostEstimate",
     "CostProfile",
+    "IndexChoice",
     "LogicalPlan",
     "NormalizedQuery",
+    "PARTIAL_CONE_EXPANSION",
+    "PARTIAL_FOOTPRINT_FRACTION",
     "PhysicalOperator",
     "PhysicalPlan",
     "PruneObligation",
@@ -71,13 +80,16 @@ __all__ = [
     "build_shared_dag",
     "choose_index",
     "choose_index_detail",
+    "choose_scoped_index",
     "compile_batch",
     "compile_plan",
     "compile_query",
     "estimate_candidates",
     "estimate_executor",
     "estimated_sharing_savings",
+    "index_build_units",
     "normalize",
+    "scoped_index_key",
     "rehydrate_plan_function",
     "should_share",
     "supports_plan",

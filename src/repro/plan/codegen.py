@@ -130,6 +130,11 @@ def analyze_plan(plan: CompiledPlan) -> PlanAnalysis:
     physical = plan.physical
     if physical.executor != "gtea":
         raise CodegenError(f"executor {physical.executor!r} is not specializable")
+    if getattr(physical, "index_scope", "full") != "full":
+        # Partial-scope plans bind to a footprint-restricted index whose
+        # lifetime the session pool controls; compiled functions cache by
+        # plan fingerprint and would outlive (and pin) that domain.
+        raise CodegenError("partial-scope index choice is not specializable")
     query = plan.query
     if not physical.covers_query(query):
         raise CodegenError("downward order does not cover the rewritten query")

@@ -75,6 +75,7 @@ def compile_query(
     minimize: bool = True,
     stats: GraphStats | None = None,
     profile=None,
+    pooled=(),
 ) -> CompiledPlan:
     """Compile ``query`` for evaluation over ``graph``.
 
@@ -91,10 +92,14 @@ def compile_query(
         profile: optional :class:`~repro.plan.feedback.CostProfile` of
             observed runtime stats; calibrates the physical planner's
             executor inequality and index choice.
+        pooled: full-scope index names already built by the caller (the
+            session's reachability pool); per-query costing treats those
+            as free and never picks a partial index against them.
     """
     normalized = normalize(query, minimize=minimize)
     logical = build_logical_plan(graph, normalized)
     physical = build_physical_plan(
-        graph, normalized, logical, index=index, stats=stats, profile=profile
+        graph, normalized, logical, index=index, stats=stats, profile=profile,
+        pooled=pooled,
     )
     return CompiledPlan(normalized=normalized, logical=logical, physical=physical)

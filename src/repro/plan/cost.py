@@ -23,7 +23,7 @@ posting-list length lookup; anything else is bounded by the node count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..graph.digraph import DataGraph
 from ..graph.stats import GraphStats
@@ -31,6 +31,7 @@ from ..query.gtpq import GTPQ
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .feedback import CostProfile
+    from .logical import CandidateSource
 
 #: node count up to which the packed-bitset transitive closure is the
 #: obvious winner (O(1) queries; the bit matrix stays under ~32 KiB).
@@ -46,6 +47,16 @@ BASELINE_SWEEPS = 2
 #: GTEA touches each candidate roughly thrice: the initial fetch, the
 #: bottom-up re-read of Procedure 6, and the matching-graph assembly.
 GTEA_CANDIDATE_PASSES = 3
+
+#: a partial index only pays when its footprint stays under this
+#: fraction of the graph — beyond it the "partial" build approaches a
+#: full build plus adapter overhead.
+PARTIAL_FOOTPRINT_FRACTION = 0.25
+
+#: estimated cone size per candidate: the label posting lists give the
+#: seeds; their reachable cone is guessed at this multiple (footprints
+#: are descendant-closed, so the cone can only grow the seed set).
+PARTIAL_CONE_EXPANSION = 4.0
 
 
 def choose_index(
@@ -114,6 +125,124 @@ def choose_index_detail(
                 f"{ladder} at {ladder_rate:.2e}s/element"
             )
     return ladder, "cost model: graph-shape ladder"
+
+
+def scoped_index_key(index_name: str, scope: str) -> str:
+    """The profile/pool key of one (index, scope) arm.
+
+    Full-scope arms keep the bare index name, so every pre-existing
+    profile key and pool entry reads unchanged; partial arms append the
+    scope tag (``"tc@partial"``).
+    """
+    return index_name if scope == "full" else f"{index_name}@{scope}"
+
+
+@dataclass(frozen=True)
+class IndexChoice:
+    """The per-query (index, scope) decision and why it was made.
+
+    ``scope`` is ``"full"`` (one index over the whole graph, shared by
+    every query) or ``"partial"`` (an index over this query's candidate
+    footprint, built lazily and pooled by domain fingerprint).
+    ``footprint_estimate`` is the costing-time cone estimate — the
+    executor recomputes the real footprint before building.
+    """
+
+    index_name: str
+    scope: str
+    reason: str
+    footprint_estimate: int | None = None
+
+    @property
+    def scoped_name(self) -> str:
+        return scoped_index_key(self.index_name, self.scope)
+
+
+def index_build_units(index_name: str, num_nodes: int, num_edges: int) -> float:
+    """Rough build cost of one index, in graph-element units.
+
+    Only the *relative* order across (index, scope) arms matters: the
+    packed transitive closure is quadratic in nodes, interval labels and
+    the tree cover are one traversal, and the chain/contour/hop family
+    pays a few passes plus its chain decomposition.
+    """
+    if index_name == "tc":
+        return num_nodes * num_nodes / 8 + num_nodes + num_edges
+    if index_name in ("interval", "tree-cover"):
+        return num_nodes + num_edges
+    return 4.0 * (num_nodes + num_edges)
+
+
+def choose_scoped_index(
+    stats: GraphStats,
+    sources: Sequence["CandidateSource"],
+    profile: "CostProfile | None" = None,
+    graph_version: int | None = None,
+    *,
+    pooled: Iterable[str] = (),
+) -> IndexChoice:
+    """Per-query index costing: pick an (index, scope) arm.
+
+    The graph-shape ladder (:func:`choose_index_detail`) prices the
+    full-scope arm.  The partial arm is admissible when every candidate
+    source is bounded by a label posting list and the estimated
+    footprint (seeds times :data:`PARTIAL_CONE_EXPANSION`, clamped to
+    the node count) stays under :data:`PARTIAL_FOOTPRINT_FRACTION` of
+    the graph; it wins when its estimated build
+    (:func:`index_build_units` over the footprint) undercuts the full
+    build — trivially true once the full index is this cheap to skip.
+    Already-built pool entries (``pooled``) make the full arm free, so
+    it always wins; and when the cost profile has observed both arms,
+    measured seconds-per-element settle the race instead.
+    """
+    full_name, full_reason = choose_index_detail(stats, profile, graph_version)
+    full = IndexChoice(full_name, "full", full_reason)
+    if full_name in pooled:
+        return IndexChoice(
+            full_name, "full", f"pooled: {full_name} already built", None
+        )
+    if stats.num_nodes <= AUTO_TC_MAX_NODES:
+        return full
+    if not sources or any(s.source != "label-index" for s in sources):
+        return full
+    seeds = sum(s.estimate for s in sources)
+    footprint = min(stats.num_nodes, int(PARTIAL_CONE_EXPANSION * seeds) + 1)
+    if footprint > PARTIAL_FOOTPRINT_FRACTION * stats.num_nodes:
+        return full
+    inner = "tc" if footprint <= AUTO_TC_MAX_NODES else full_name
+    edge_density = stats.num_edges / max(1, stats.num_nodes)
+    partial_units = index_build_units(
+        inner, footprint, int(edge_density * footprint) + 1
+    )
+    full_units = index_build_units(full_name, stats.num_nodes, stats.num_edges)
+    if partial_units >= full_units:
+        return full
+    choice = IndexChoice(
+        inner,
+        "partial",
+        f"per-query: footprint≈{footprint} of {stats.num_nodes} nodes; "
+        f"{inner} over the cone undercuts a full {full_name} build",
+        footprint,
+    )
+    if profile is not None and graph_version is not None:
+        from .feedback import INDEX_OVERRIDE_MARGIN
+
+        partial_rate = profile.observed_rate(choice.scoped_name, graph_version)
+        full_rate = profile.observed_rate(full_name, graph_version)
+        if (
+            partial_rate is not None
+            and full_rate is not None
+            and full_rate < INDEX_OVERRIDE_MARGIN * partial_rate
+        ):
+            return IndexChoice(
+                full_name,
+                "full",
+                f"cost profile: observed full {full_name} at "
+                f"{full_rate:.2e}s/element beats partial at "
+                f"{partial_rate:.2e}s/element",
+                footprint,
+            )
+    return choice
 
 
 def estimate_candidates(graph: DataGraph, query: GTPQ) -> dict[str, int]:

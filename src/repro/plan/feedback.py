@@ -223,24 +223,40 @@ class CostProfile:
             return None
         return gtea_rate, baseline_rate
 
-    def preferred_index(self, graph_version: int) -> tuple[str, float] | None:
-        """The observed cheapest index for this graph version.
+    def preferred_index(
+        self, graph_version: int, executor: str = "gtea"
+    ) -> tuple[str, float] | None:
+        """The observed cheapest *full-scope* index for this graph version.
 
-        Returns ``(index_name, seconds_per_element)`` over GTEA
-        executions, or None when no index has enough samples.
+        Returns ``(index_name, seconds_per_element)`` over executions of
+        exactly the ``executor`` arm being costed, or None when no index
+        has enough samples.  Keys recorded under other executors
+        ("gtea-shared", "gtea-parallel", "gtea-codegen", ...) never
+        steer the comparison, and neither do scope-tagged index names
+        ("tc@partial", ...): a partial build's per-element rate is not
+        an offer the full-index ladder can take — emitting a scoped name
+        as a full index choice would not even resolve in the factory.
         """
         best: tuple[str, float] | None = None
-        for (index_name, executor, version), key in self._keys.items():
-            if executor != "gtea" or version != graph_version:
+        for (index_name, key_executor, version), key in self._keys.items():
+            if key_executor != executor or version != graph_version:
+                continue
+            if "@" in index_name:
                 continue
             rate = key.seconds_per_element()
             if rate is not None and (best is None or rate < best[1]):
                 best = (index_name, rate)
         return best
 
-    def observed_rate(self, index_name: str, graph_version: int) -> float | None:
-        """Observed GTEA seconds-per-element under one index, or None."""
-        key = self._keys.get((index_name, "gtea", graph_version))
+    def observed_rate(
+        self, index_name: str, graph_version: int, executor: str = "gtea"
+    ) -> float | None:
+        """Observed seconds-per-element under one (index, executor) arm.
+
+        ``index_name`` may be scope-tagged ("tc@partial") — that is how
+        the per-query costing layer reads back what partial builds cost.
+        """
+        key = self._keys.get((index_name, executor, graph_version))
         return key.seconds_per_element() if key is not None else None
 
     # ------------------------------------------------------------------

@@ -26,11 +26,16 @@ the estimated-vs-observed comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..graph.digraph import DataGraph
 from ..graph.stats import GraphStats, graph_stats
-from .cost import CostEstimate, choose_index_detail, estimate_executor
+from .cost import (
+    CostEstimate,
+    choose_scoped_index,
+    estimate_executor,
+    scoped_index_key,
+)
 from .logical import LogicalPlan
 from .normalize import NormalizedQuery
 
@@ -74,6 +79,11 @@ class PhysicalPlan:
         index_reason: why this index was picked.
         operators: the ordered operator pipeline the executor drives
             (see :class:`PhysicalOperator`).
+        index_scope: ``"full"`` (one index over the whole graph) or
+            ``"partial"`` (built lazily over this query's candidate
+            footprint — see :mod:`repro.reachability.partial`).
+        footprint_estimate: the costing-time footprint estimate behind a
+            partial-scope choice; None for full-scope plans.
     """
 
     index_name: str
@@ -82,6 +92,14 @@ class PhysicalPlan:
     cost: CostEstimate | None
     index_reason: str
     operators: tuple[PhysicalOperator, ...] = ()
+    index_scope: str = "full"
+    footprint_estimate: int | None = None
+
+    @property
+    def scoped_index_name(self) -> str:
+        """The pool/profile key of this plan's index choice
+        (``"tc"``, ``"tc@partial"``, ...)."""
+        return scoped_index_key(self.index_name, self.index_scope)
 
     def covers_query(self, query) -> bool:
         """Does the downward order cover every node of ``query``?
@@ -98,7 +116,18 @@ class PhysicalPlan:
         execution's ``EvaluationStats.operator_stats``), each pipeline
         row also shows what actually happened — including runtime
         reorderings, early exits and skipped operators."""
-        lines = [f"index: {self.index_name} ({self.index_reason})"]
+        if self.index_scope == "full":
+            lines = [f"index: {self.index_name} ({self.index_reason})"]
+        else:
+            footprint = (
+                f"footprint≈{self.footprint_estimate}"
+                if self.footprint_estimate is not None
+                else "footprint unknown"
+            )
+            lines = [
+                f"index: [index {self.index_name}/{self.index_scope} · "
+                f"{footprint}] ({self.index_reason})"
+            ]
         if self.cost is not None:
             lines.append(f"executor: {self.executor} ({self.cost.reason})")
             unit = "s" if self.cost.calibrated else ""
@@ -177,6 +206,7 @@ def build_physical_plan(
     index: str = "auto",
     stats: GraphStats | None = None,
     profile: "CostProfile | None" = None,
+    pooled: Iterable[str] = (),
 ) -> PhysicalPlan:
     """Cost the logical plan and fix index, executor and operator list.
 
@@ -193,11 +223,23 @@ def build_physical_plan(
         profile: the session's observed :class:`CostProfile`; when given,
             measured per-element rates calibrate the executor inequality
             and may override the index ladder.
+        pooled: names of full-scope indexes the session has already
+            built; an already-built index makes the full arm free, so
+            per-query costing never picks partial against it.
     """
     if stats is None:
         stats = graph_stats(graph)
+    index_scope = "full"
+    footprint_estimate: int | None = None
     if index == "auto":
-        index_name, index_reason = choose_index_detail(stats, profile, graph.version)
+        choice = choose_scoped_index(
+            stats, logical.sources, profile, graph.version, pooled=pooled
+        )
+        index_name = choice.index_name
+        index_reason = choice.reason
+        index_scope = choice.scope
+        if choice.scope != "full":
+            footprint_estimate = choice.footprint_estimate
     else:
         # Deferred import: the factory imports this package's cost model.
         from ..reachability.factory import available_indexes
@@ -218,6 +260,8 @@ def build_physical_plan(
             cost=None,
             index_reason=index_reason,
             operators=build_operator_pipeline("constant-empty", logical, logical.downward_order),
+            index_scope=index_scope,
+            footprint_estimate=footprint_estimate,
         )
 
     estimates = {source.node_id: source.estimate for source in logical.sources}
@@ -226,9 +270,20 @@ def build_physical_plan(
         logical.query,
         estimates,
         profile=profile,
-        index_name=index_name,
+        index_name=scoped_index_key(index_name, index_scope),
         graph_version=graph.version,
     )
+    if cost.executor != "gtea" and index_scope != "full":
+        # Partial indexes serve the GTEA pipeline only; a baseline-routed
+        # plan performs whole-graph sweeps, so fall back to the full arm —
+        # the ladder pick, not the partial inner (a small-footprint inner
+        # like tc must never become a whole-graph build).
+        from .cost import choose_index_detail
+
+        index_name, _ = choose_index_detail(stats, profile, graph.version)
+        index_scope = "full"
+        footprint_estimate = None
+        index_reason += " [full scope: baseline executor]"
     return PhysicalPlan(
         index_name=index_name,
         executor=cost.executor,
@@ -236,4 +291,6 @@ def build_physical_plan(
         cost=cost,
         index_reason=index_reason,
         operators=build_operator_pipeline(cost.executor, logical, logical.downward_order),
+        index_scope=index_scope,
+        footprint_estimate=footprint_estimate,
     )

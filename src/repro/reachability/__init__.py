@@ -24,6 +24,15 @@ from .factory import (
     select_auto_index,
 )
 from .interval import IntervalIndex, IntervalLabeling
+from .partial import (
+    Footprint,
+    PartialIndex,
+    PartialReachability,
+    build_partial_reachability,
+    candidate_cone,
+    domain_fingerprint,
+    scoped_name,
+)
 from .sspi import SSPIIndex
 from .three_hop import ThreeHopIndex
 from .transitive_closure import TransitiveClosureIndex
@@ -36,21 +45,28 @@ __all__ = [
     "ContourIndex",
     "Dag",
     "DagIndex",
+    "Footprint",
     "GraphReachability",
     "IndexCounters",
     "IntervalIndex",
     "IntervalLabeling",
+    "PartialIndex",
+    "PartialReachability",
     "SSPIIndex",
     "ThreeHopIndex",
     "TransitiveClosureIndex",
     "TreeCoverIndex",
     "available_indexes",
+    "build_partial_reachability",
     "build_reachability",
+    "candidate_cone",
     "chain_decomposition",
     "contour_reaches_node",
+    "domain_fingerprint",
     "merge_pred_lists",
     "merge_succ_lists",
     "node_reaches_contour",
     "resolve_index",
+    "scoped_name",
     "select_auto_index",
 ]

@@ -196,13 +196,31 @@ class QueryServer:
         so no request ever straddles two snapshots; each worker's next
         evaluation then detects the version change and rebuilds its own
         caches lazily.
+
+        With a store attached, the drained state is re-persisted first
+        (the warmest worker, exactly like :meth:`persist`): a refresh
+        without a mutation acts as a checkpoint of everything learned
+        since the last publish.  After a mutation, ``persist()`` detects
+        the version change, drops the stale caches and keys by the *new*
+        graph content — stale artifacts are never published under the
+        fresh key.  Best-effort — a failing store never blocks the
+        re-pin.
         """
         if not self.started:
             raise RuntimeError("QueryServer.start() has not run")
         drained = [await self._pool.get() for _ in range(self.workers)]
-        self._pinned_version = self.graph.version
-        for session in drained:
-            self._pool.put_nowait(session)
+        try:
+            if self.store is not None and self._sessions:
+                warmest = max(self._sessions, key=lambda s: len(s.plan_cache))
+                loop = asyncio.get_running_loop()
+                try:
+                    await loop.run_in_executor(self._executor, warmest.persist)
+                except Exception:
+                    pass
+            self._pinned_version = self.graph.version
+        finally:
+            for session in drained:
+                self._pool.put_nowait(session)
 
     def persist(self) -> dict[str, int]:
         """Publish the warmest worker's artifacts to the shared store.

@@ -37,7 +37,9 @@ from pathlib import Path
 
 #: bumped whenever the artifact layout or any payload schema changes;
 #: readers reject (and discard) artifacts from any other revision.
-STORE_FORMAT_VERSION = 1
+#: (2: PhysicalPlan grew index_scope/footprint_estimate fields, so
+#: format-1 plan pickles no longer describe the live schema.)
+STORE_FORMAT_VERSION = 2
 
 _MAGIC = b"repro-store\n"
 _SUFFIX = ".artifact"
@@ -46,11 +48,13 @@ _SUFFIX = ".artifact"
 #: the store is schema-agnostic above the header).
 SESSION_KINDS = (
     "indexes",
+    "partial-indexes",
     "plans",
     "candidates",
     "subtrees",
     "results",
     "codegen",
+    "codegen-src",
     "profile",
 )
 

@@ -120,6 +120,8 @@ class TestStatsShape:
             parallel_workers=4,
             parallel_shard_tasks=9,
             batch_shared_subtrees=2,
+            partial_builds=1,
+            partial_hits=2,
         )
         assert set(zeros.row()) == set(fired.row())
         for column in (
@@ -132,10 +134,15 @@ class TestStatsShape:
             "cache_hits",
             "cache_misses",
             "prune_ops",
+            "partial_builds",
+            "partial_hits",
+            "partial_fallbacks",
         ):
             assert zeros.row()[column] == 0
         assert fired.row()["codegen_hits"] == 3
         assert fired.row()["workers"] == 4
+        assert fired.row()["partial_builds"] == 1
+        assert fired.row()["partial_hits"] == 2
 
     def test_phase_timer_accumulates(self):
         from repro.engine.stats import EvaluationStats

@@ -371,3 +371,58 @@ class TestSessionFeedback:
         keys = list(session.cost_profile.snapshot())
         assert any(key.endswith(f"v{version}") for key in keys)
         assert any(key.endswith(f"v{graph.version}") for key in keys)
+
+
+class TestScopedProfileKeys:
+    """Regression: the index override must compare only the executor arm
+    being costed, and scope-tagged keys must never become ladder picks."""
+
+    def test_scoped_names_never_win_preferred_index(self):
+        profile = CostProfile()
+        fill(profile, index_name="tc@partial", executor="gtea",
+             records=gtea_record(seconds=1e-9))
+        fill(profile, index_name="3hop", executor="gtea",
+             records=gtea_record(seconds=1e-3))
+        # The partial key is orders of magnitude cheaper, but a scoped
+        # name is not a full-index offer: the bare key must win.
+        best = profile.preferred_index(0)
+        assert best is not None and best[0] == "3hop"
+
+    def test_scoped_only_observations_yield_no_preference(self):
+        profile = CostProfile()
+        fill(profile, index_name="tc@partial", executor="gtea",
+             records=gtea_record(seconds=1e-9))
+        assert profile.preferred_index(0) is None
+
+    def test_preferred_index_is_scoped_to_the_costed_executor(self):
+        profile = CostProfile()
+        fill(profile, index_name="interval", executor="gtea-shared",
+             records=gtea_record(seconds=1e-9))
+        fill(profile, index_name="3hop", executor="gtea",
+             records=gtea_record(seconds=1e-3))
+        # The dirt-cheap interval rate lives under the shared-batch arm;
+        # costing the plain gtea arm must not see it.
+        best = profile.preferred_index(0, executor="gtea")
+        assert best is not None and best[0] == "3hop"
+        shared = profile.preferred_index(0, executor="gtea-shared")
+        assert shared is not None and shared[0] == "interval"
+
+    def test_ladder_override_ignores_other_executor_arms(self):
+        graph = dag_graph()
+        stats = graph_stats(graph)
+        profile = CostProfile()
+        fill(profile, index_name="tc", executor="gtea",
+             records=gtea_record(seconds=1e-3), graph_version=graph.version)
+        fill(profile, index_name="3hop", executor="gtea-codegen",
+             records=gtea_record(seconds=1e-9), graph_version=graph.version)
+        # 3hop looks unbeatable, but only under the codegen arm: the
+        # ladder pick must survive.
+        name, __ = choose_index_detail(stats, profile, graph.version)
+        assert name == "tc"
+
+    def test_observed_rate_reads_scoped_keys(self):
+        profile = CostProfile()
+        fill(profile, index_name="tc@partial", executor="gtea",
+             records=gtea_record(seconds=1e-3))
+        assert profile.observed_rate("tc@partial", 0) is not None
+        assert profile.observed_rate("tc", 0) is None

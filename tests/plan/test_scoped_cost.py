@@ -1,0 +1,200 @@
+"""Per-query index costing: the (index, scope) arm race of
+:func:`repro.plan.cost.choose_scoped_index` and its surface in the
+physical plan."""
+
+import pytest
+
+from repro.graph import GraphStats, graph_stats
+from repro.plan import (
+    PARTIAL_FOOTPRINT_FRACTION,
+    CostProfile,
+    IndexChoice,
+    choose_scoped_index,
+    compile_query,
+    index_build_units,
+    scoped_index_key,
+)
+from repro.plan.feedback import MIN_SAMPLES
+from repro.plan.logical import CandidateSource
+from tests.plan.test_feedback import fill, gtea_record
+
+
+def stats_for(num_nodes, num_edges, *, is_dag=True):
+    return GraphStats(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        num_labels=3,
+        num_roots=1,
+        max_depth=5,
+        avg_depth=3.0,
+        is_dag=is_dag,
+    )
+
+
+def label_source(node_id="a", estimate=20):
+    return CandidateSource(
+        node_id=node_id,
+        kind="backbone",
+        source="label-index",
+        predicate="label = 'q'",
+        estimate=estimate,
+    )
+
+
+def scan_source(node_id="a"):
+    return CandidateSource(
+        node_id=node_id,
+        kind="backbone",
+        source="full-scan",
+        predicate="kind = 1",
+        estimate=10_000,
+    )
+
+
+BIG = stats_for(10_000, 25_000)
+
+
+class TestScopedKey:
+    def test_full_scope_keeps_the_bare_name(self):
+        assert scoped_index_key("tc", "full") == "tc"
+
+    def test_partial_scope_appends_the_tag(self):
+        assert scoped_index_key("tc", "partial") == "tc@partial"
+        assert IndexChoice("3hop", "partial", "why").scoped_name == "3hop@partial"
+
+
+class TestBuildUnits:
+    def test_tc_is_quadratic_and_traversal_indexes_linear(self):
+        n, e = 10_000, 25_000
+        assert index_build_units("tc", n, e) > index_build_units("3hop", n, e)
+        assert index_build_units("interval", n, e) < index_build_units("3hop", n, e)
+        assert index_build_units("tree-cover", n, e) == n + e
+
+
+class TestScopedChoiceGates:
+    def test_selective_label_sources_pick_partial(self):
+        choice = choose_scoped_index(BIG, [label_source(estimate=20)])
+        assert choice.scope == "partial"
+        assert choice.index_name == "tc"  # footprint fits the tc rung
+        assert choice.footprint_estimate is not None
+        assert choice.footprint_estimate <= BIG.num_nodes
+
+    def test_tiny_graphs_stay_full(self):
+        tiny = stats_for(100, 150)
+        choice = choose_scoped_index(tiny, [label_source(estimate=2)])
+        assert choice.scope == "full"
+
+    def test_full_scan_source_disqualifies_partial(self):
+        choice = choose_scoped_index(BIG, [label_source(), scan_source("b")])
+        assert choice.scope == "full"
+
+    def test_no_sources_stays_full(self):
+        assert choose_scoped_index(BIG, []).scope == "full"
+
+    def test_fat_footprint_stays_full(self):
+        fat = label_source(estimate=int(BIG.num_nodes * PARTIAL_FOOTPRINT_FRACTION))
+        choice = choose_scoped_index(BIG, [fat])
+        assert choice.scope == "full"
+
+    def test_pooled_full_index_is_free_and_wins(self):
+        partial = choose_scoped_index(BIG, [label_source(estimate=20)])
+        assert partial.scope == "partial"
+        pooled = choose_scoped_index(
+            BIG, [label_source(estimate=20)], pooled=("3hop",)
+        )
+        assert pooled.scope == "full"
+        assert "pooled" in pooled.reason
+
+    def test_large_footprint_promotes_the_inner_past_tc(self):
+        # Footprint above the tc rung: the partial arm inherits the
+        # ladder's index instead of a quadratic closure over the cone.
+        huge = stats_for(100_000, 250_000)
+        choice = choose_scoped_index(huge, [label_source(estimate=500)])
+        assert choice.scope == "partial"
+        assert choice.index_name == "3hop"
+
+
+class TestScopedCalibration:
+    def test_observed_slow_partial_demotes_to_full(self):
+        sources = [label_source(estimate=20)]
+        assert choose_scoped_index(BIG, sources).scope == "partial"
+        profile = CostProfile()
+        fill(profile, index_name="tc@partial", executor="gtea",
+             records=gtea_record(seconds=1.0), graph_version=7, runs=MIN_SAMPLES)
+        fill(profile, index_name="3hop", executor="gtea",
+             records=gtea_record(seconds=1e-6), graph_version=7, runs=MIN_SAMPLES)
+        demoted = choose_scoped_index(BIG, sources, profile, 7)
+        assert demoted.scope == "full"
+        assert "cost profile" in demoted.reason
+
+    def test_one_sided_observations_keep_the_partial_pick(self):
+        sources = [label_source(estimate=20)]
+        profile = CostProfile()
+        fill(profile, index_name="tc@partial", executor="gtea",
+             records=gtea_record(seconds=1.0), graph_version=7, runs=MIN_SAMPLES)
+        assert choose_scoped_index(BIG, sources, profile, 7).scope == "partial"
+
+
+class TestPhysicalSurface:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.datasets import index_choice_workload
+
+        return index_choice_workload(scale=1, queries=2)
+
+    def test_partial_choice_lands_in_the_plan_and_explain(self, workload):
+        graph, queries = workload
+        compiled = compile_query(graph, queries[0])
+        physical = compiled.physical
+        assert physical.index_scope == "partial"
+        assert physical.scoped_index_name == "tc@partial"
+        assert physical.footprint_estimate is not None
+        header = compiled.explain().splitlines()
+        marker = f"[index tc/partial · footprint≈{physical.footprint_estimate}]"
+        assert any(marker in line for line in header)
+
+    def test_full_scope_explain_is_unchanged(self, workload):
+        graph, __ = workload
+        from repro.query import AttributePredicate, QueryBuilder
+
+        query = (
+            QueryBuilder()
+            .backbone("a", predicate=AttributePredicate.label("a"))
+            .backbone("b", parent="a", predicate=AttributePredicate.label("b"))
+            .outputs("a")
+            .build()
+        )
+        physical = compile_query(graph, query).physical
+        assert physical.index_scope == "full"
+        assert "@" not in physical.scoped_index_name
+        assert "/partial" not in "\n".join(physical.explain_lines())
+
+    def test_pooled_compile_stays_full(self, workload):
+        graph, queries = workload
+        physical = compile_query(graph, queries[0], pooled=("3hop",)).physical
+        assert physical.index_scope == "full"
+        assert "pooled" in physical.index_reason
+
+    def test_codegen_rejects_partial_scope(self, workload):
+        graph, queries = workload
+        from repro.plan.codegen import CodegenError, analyze_plan
+
+        compiled = compile_query(graph, queries[0])
+        assert compiled.physical.index_scope == "partial"
+        with pytest.raises(CodegenError, match="partial"):
+            analyze_plan(compiled)
+
+
+class TestLiveGraphAgreement:
+    def test_workload_stats_actually_cross_every_gate(self):
+        """The synthetic stats above must match what a real enclave
+        workload produces — otherwise the gate tests drift from the
+        planner's actual inputs."""
+        from repro.datasets import index_choice_workload
+
+        graph, queries = index_choice_workload(scale=1, queries=1)
+        stats = graph_stats(graph)
+        logical = compile_query(graph, queries[0]).logical
+        choice = choose_scoped_index(stats, logical.sources)
+        assert choice.scope == "partial"
+        assert all(s.source == "label-index" for s in logical.sources)

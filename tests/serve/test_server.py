@@ -207,3 +207,75 @@ class TestTcpFront:
         assert first["ok"] and first["count"] == len(expected)
         assert first == second, "identical answers must render byte-identically"
         assert not bad["ok"] and "error" in bad
+
+
+class TestRefreshCheckpoint:
+    def test_refresh_persists_drained_state_to_the_store(self, tmp_path):
+        """A quiescent refresh checkpoints the warmest worker's learned
+        state — a later cold server starts warm without anyone ever
+        calling persist() explicitly."""
+        graph = serve_graph()
+        query = serve_query()
+        store = tmp_path / "store"
+
+        async def serve_and_refresh():
+            server = QueryServer(graph, workers=2, store=store)
+            await server.start()
+            answer = await server.submit(query)
+            await server.refresh()  # no mutation: acts as a checkpoint
+            await server.stop()
+            return answer
+
+        answer = asyncio.run(serve_and_refresh())
+
+        async def restarted():
+            server = QueryServer(graph, workers=1, store=store)
+            await server.start()
+            rehydrated = sum(server._sessions[0].store_rehydrated.values())
+            again = await server.submit(query)
+            await server.stop()
+            return rehydrated, again
+
+        rehydrated, again = asyncio.run(restarted())
+        assert rehydrated > 0
+        assert again == answer
+
+    def test_refresh_without_a_store_still_repins(self):
+        graph = serve_graph()
+
+        async def run():
+            server = QueryServer(graph, workers=1)
+            await server.start()
+            graph.add_node(label="a")
+            await server.refresh()
+            answer = await server.submit(serve_query())
+            await server.stop()
+            return answer
+
+        assert asyncio.run(run()) == evaluate_naive(serve_query(), graph)
+
+    def test_post_mutation_refresh_never_publishes_stale_artifacts(self, tmp_path):
+        """persist() inside refresh() keys by the *mutated* content; the
+        stale pre-mutation caches are dropped, not published."""
+        from repro.store import ArtifactStore, graph_fingerprint
+
+        graph = serve_graph()
+        query = serve_query()
+        store = ArtifactStore(tmp_path / "store")
+
+        async def run():
+            server = QueryServer(graph, workers=1, store=store)
+            await server.start()
+            await server.submit(query)
+            stale_fingerprint = graph_fingerprint(graph)
+            graph.add_node(label="c")
+            await server.refresh()
+            await server.submit(query)
+            await server.refresh()
+            await server.stop()
+            return stale_fingerprint
+
+        stale_fingerprint = asyncio.run(run())
+        fresh_fingerprint = graph_fingerprint(graph)
+        assert store.kinds(fresh_fingerprint), "checkpoint must land under the new key"
+        assert stale_fingerprint != fresh_fingerprint
